@@ -1,0 +1,223 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Each benchmark runs the corresponding experiment end to end
+// (design-space search, placement optimization, or cycle-level
+// simulation) and reports key result metrics alongside the timing, so
+// `go test -bench=. -benchmem` doubles as the reproduction harness.
+// With -short the experiments run at reduced (Quick) scale.
+package waferswitch_test
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"waferswitch/internal/expt"
+	"waferswitch/internal/mapping"
+	"waferswitch/internal/sim"
+	"waferswitch/internal/ssc"
+	"waferswitch/internal/topo"
+	"waferswitch/internal/traffic"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	o := expt.Options{Quick: testing.Short(), Seed: 1}
+	for i := 0; i < b.N; i++ {
+		t, err := expt.Run(id, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+		if i == b.N-1 {
+			b.Logf("\n%s", t.Render())
+		}
+	}
+}
+
+// Motivation and parameter tables.
+func BenchmarkFig1(b *testing.B)   { benchExperiment(b, "fig1") }
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "table4") }
+func BenchmarkTable5(b *testing.B) { benchExperiment(b, "table5") }
+
+// Modular-switch comparison (Table III).
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+
+// Mapping study (Fig 5) and the design-space sweeps (Figs 6-13).
+func BenchmarkFig5(b *testing.B)  { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)  { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)  { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)  { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)  { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B) { benchExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B) { benchExperiment(b, "fig13") }
+
+// Power scaling and the scalability optimizations (Figs 15-19).
+func BenchmarkFig15(b *testing.B) { benchExperiment(b, "fig15") }
+func BenchmarkFig16(b *testing.B) { benchExperiment(b, "fig16") }
+func BenchmarkFig17(b *testing.B) { benchExperiment(b, "fig17") }
+func BenchmarkFig18(b *testing.B) { benchExperiment(b, "fig18") }
+func BenchmarkFig19(b *testing.B) { benchExperiment(b, "fig19") }
+
+// Cycle-level performance studies (Figs 21-24).
+func BenchmarkFig21(b *testing.B) { benchExperiment(b, "fig21") }
+func BenchmarkFig22(b *testing.B) { benchExperiment(b, "fig22") }
+func BenchmarkFig23(b *testing.B) { benchExperiment(b, "fig23") }
+func BenchmarkFig24(b *testing.B) { benchExperiment(b, "fig24") }
+
+// Discussion-section studies (Figs 25-28, Table VI).
+func BenchmarkFig25(b *testing.B)  { benchExperiment(b, "fig25") }
+func BenchmarkFig26(b *testing.B)  { benchExperiment(b, "fig26") }
+func BenchmarkFig27(b *testing.B)  { benchExperiment(b, "fig27") }
+func BenchmarkFig28(b *testing.B)  { benchExperiment(b, "fig28") }
+func BenchmarkTable6(b *testing.B) { benchExperiment(b, "table6") }
+
+// Use cases (Tables VII-IX).
+func BenchmarkTable7(b *testing.B) { benchExperiment(b, "table7") }
+func BenchmarkTable8(b *testing.B) { benchExperiment(b, "table8") }
+func BenchmarkTable9(b *testing.B) { benchExperiment(b, "table9") }
+
+// Extension experiments (see EXPERIMENTS.md, "Extensions").
+func BenchmarkExtYield(b *testing.B)      { benchExperiment(b, "ext-yield") }
+func BenchmarkExtOptimizers(b *testing.B) { benchExperiment(b, "ext-optimizers") }
+func BenchmarkExtMeshSim(b *testing.B)    { benchExperiment(b, "ext-meshsim") }
+func BenchmarkExtTail(b *testing.B)       { benchExperiment(b, "ext-tail") }
+
+// --- Ablation and microbenchmarks for the design choices in DESIGN.md ---
+
+// BenchmarkAnnealVsPairwise times the annealing alternative to the
+// paper's Algorithm 1 on the flagship 96-chiplet placement.
+func BenchmarkAnnealVsPairwise(b *testing.B) {
+	cl, err := topo.HomogeneousClos(8192, ssc.MustTH5(200))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows, cols := topo.NearSquare(len(cl.Nodes))
+	b.Run("pairwise", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p, err := mapping.Best(cl, rows, cols, 1, int64(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(p.MaxLoad()), "maxload")
+		}
+	})
+	b.Run("anneal", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p, err := mapping.BestAnnealed(cl, rows, cols, 1, 80, int64(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(p.MaxLoad()), "maxload")
+		}
+	})
+}
+
+// BenchmarkMappingOptimize measures one full pairwise-exchange
+// optimization of an 8192-port Clos placement (the paper's Algorithm 1 at
+// its largest configuration).
+func BenchmarkMappingOptimize(b *testing.B) {
+	cl, err := topo.HomogeneousClos(8192, ssc.MustTH5(200))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows, cols := topo.NearSquare(len(cl.Nodes))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := mapping.New(cl, rows, cols, rand.New(rand.NewSource(int64(i))))
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Optimize(50)
+	}
+}
+
+// BenchmarkMappingConvergedPass measures one full pairwise-exchange sweep
+// over a converged placement: every cell pair is swap-evaluated and
+// reverted, exercising the incremental channel-load accounting the
+// optimizer depends on (DESIGN.md ablation).
+func BenchmarkMappingConvergedPass(b *testing.B) {
+	cl, err := topo.HomogeneousClos(4096, ssc.MustTH5(200))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := mapping.Best(cl, 8, 8, 1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Optimize(1)
+	}
+}
+
+// BenchmarkSimCycle measures steady-state simulator throughput in router
+// cycles per second on the Fig 23 waferscale configuration.
+func BenchmarkSimCycle(b *testing.B) {
+	ports := 512
+	chip, err := ssc.MustTH5(200).Deradix(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl, err := topo.HomogeneousClos(ports, chip)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.Config{
+		NumVCs: 16, BufPerPort: 32, PacketFlits: 4,
+		RCIngress: 2, RCOther: 1, PipeDelay: 9, TermDelay: 8,
+		WarmupCycles: 10, MeasureCycles: b.N + 1, DrainCycles: 1,
+		Seed: 1,
+	}
+	n, err := sim.Build(cl, sim.ConstantLatency(1), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inj, err := sim.SyntheticInjector(traffic.Uniform(ports), 4)(0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	st := n.Run(inj, 0.5)
+	b.ReportMetric(float64(st.Cycles)/float64(b.N), "cycles/op")
+}
+
+// BenchmarkClosConstruction measures logical-topology construction, the
+// inner loop of the design-space search.
+func BenchmarkClosConstruction(b *testing.B) {
+	chip := ssc.MustTH5(200)
+	for i := 0; i < b.N; i++ {
+		if _, err := topo.HomogeneousClos(8192, chip); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceGeneration measures the NERSC-like trace generators.
+func BenchmarkTraceGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := traffic.NERSCTraces(512); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var sink string
+
+// BenchmarkRender measures table rendering (sanity: output path is not
+// the bottleneck of any experiment).
+func BenchmarkRender(b *testing.B) {
+	t := &expt.Table{ID: "x", Title: "t", Headers: []string{"a", "b"}}
+	for i := 0; i < 64; i++ {
+		t.AddRow(i, strconv.Itoa(i*i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = t.Render()
+	}
+}

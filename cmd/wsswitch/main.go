@@ -1,0 +1,73 @@
+// Command wsswitch runs the reproduction experiments of "Waferscale
+// Network Switches" (ISCA 2024) and prints the corresponding tables.
+//
+// Usage:
+//
+//	wsswitch list              list all experiment ids
+//	wsswitch <id> [...]        run one or more experiments (e.g. fig7 table9)
+//	wsswitch all               run every experiment
+//	wsswitch -quick <id>       run at reduced scale (seconds, not minutes)
+//	wsswitch -seed N <id>      change the deterministic seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"waferswitch/internal/expt"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run at reduced scale")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	opts := expt.Options{Quick: *quick, Seed: *seed}
+
+	var ids []string
+	switch args[0] {
+	case "list":
+		for _, id := range expt.IDs() {
+			fmt.Println(id)
+		}
+		return
+	case "all":
+		ids = expt.IDs()
+	default:
+		ids = args
+	}
+	failed := false
+	for _, id := range ids {
+		t, err := expt.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wsswitch: %v\n", err)
+			failed = true
+			continue
+		}
+		fmt.Println(t.Render())
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: wsswitch [-quick] [-seed N] <command>
+
+commands:
+  list            list all experiment ids
+  all             run every experiment
+  <id> [...]      run specific experiments (fig5..fig28, table1..table9)
+
+examples:
+  wsswitch fig7           # max ports per external I/O scheme at 3200 Gbps/mm
+  wsswitch -quick all     # the full suite at reduced scale
+`)
+	flag.PrintDefaults()
+}

@@ -1,0 +1,84 @@
+// Datacenter: plan deployments built around waferscale switches.
+//
+// Exercises the system-architecture and use-case models: the physical
+// enclosure of a 300 mm switch (power delivery, cooling, front panel)
+// and the three deployment studies of Section VIII-B with their cost
+// savings.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"waferswitch/internal/core"
+	"waferswitch/internal/ssc"
+	"waferswitch/internal/sysarch"
+	"waferswitch/internal/tech"
+	"waferswitch/internal/usecase"
+	"waferswitch/internal/wafer"
+)
+
+func main() {
+	// Size the switch with the design-space solver, then plan its
+	// enclosure.
+	params := core.Params{
+		Substrate:       wafer.Substrate{SideMM: 300},
+		WSI:             tech.SiIF.Scaled(2),
+		ExternalIO:      tech.OpticalIO,
+		Chiplet:         ssc.MustTH5(200),
+		HeteroLeafRadix: 64,
+		Cooling:         tech.WaterCooling,
+		Seed:            1,
+	}
+	r, err := core.MaxPorts(params, core.AllConstraints)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := r.Best
+	enc, err := sysarch.Plan(d.Ports, params.Chiplet.PortGbps, d.Power.TotalW(), 300, 144)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("enclosure for the %d-port switch (%.1f kW):\n", enc.Ports, enc.TotalPowerW/1000)
+	fmt.Printf("  %d RU total (%d RU front panel with %d optical adapters)\n",
+		enc.TotalRU, enc.FrontPanelRU, enc.Adapters)
+	fmt.Printf("  power delivery: %d PSUs, %d DC-DC bricks, %d VRMs\n", enc.PSUs, enc.DCDCs, enc.VRMs)
+	fmt.Printf("  cooling: %d cold-plate loops on %d supply channels\n", enc.PCLs, enc.SupplyChans)
+	fmt.Printf("  %.1f Tbps/RU vs %.1f Tbps/RU for the densest modular switch\n\n",
+		enc.DensityGbpsPerRU/1000, bestModularDensity()/1000)
+
+	// Deployment studies.
+	dc, err := usecase.SingleSwitchDC(8192, 200, enc.TotalRU, 256)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printComparison(dc)
+	printComparison(usecase.SingularGPU(2048, 800, enc.TotalRU))
+	dcn, err := usecase.SpineDCN(16384, 1600, 800, 2048, enc.TotalRU, 256, 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printComparison(dcn)
+}
+
+func bestModularDensity() float64 {
+	best := 0.0
+	for _, m := range sysarch.ModularSwitches {
+		if d := m.DensityGbpsPerRU(); d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+func printComparison(c *usecase.Comparison) {
+	s := usecase.EstimateSavings(c)
+	fmt.Printf("%s:\n", c.Title)
+	fmt.Printf("  switches %d vs %d, cables %d vs %d, hops %d vs %d, %d RU vs %d RU\n",
+		c.Waferscale.Switches, c.Conventional.Switches,
+		c.Waferscale.Cables, c.Conventional.Cables,
+		c.Waferscale.WorstHops, c.Conventional.WorstHops,
+		c.Waferscale.SizeRU, c.Conventional.SizeRU)
+	fmt.Printf("  savings: %.0f%% cables, %.0f%% switch rack space, $%.1fM capex\n\n",
+		s.CableReduction*100, s.SpaceReduction*100, s.CapexUSD/1e6)
+}

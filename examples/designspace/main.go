@@ -1,0 +1,81 @@
+// Designspace: sweep the waferscale switch design space.
+//
+// Reproduces the paper's central sweep (Figs 7 and 9) interactively:
+// maximum achievable radix for every substrate size, external I/O scheme
+// and internal bandwidth density, with the binding constraint for the
+// next-larger (failed) design annotated.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"waferswitch/internal/core"
+	"waferswitch/internal/ssc"
+	"waferswitch/internal/tech"
+	"waferswitch/internal/wafer"
+)
+
+func main() {
+	chip := ssc.MustTH5(200)
+	for _, wsi := range []tech.WSI{tech.SiIF, tech.SiIF.Scaled(2)} {
+		fmt.Printf("=== internal bandwidth %.0f Gbps/mm (%.2f pJ/bit) ===\n",
+			wsi.BandwidthGbpsPerMM, wsi.EnergyPJPerBit)
+		for _, ext := range []tech.ExternalIO{tech.SerDes, tech.OpticalIO, tech.AreaIOTech} {
+			fmt.Printf("%-12s:", ext.Name)
+			for _, side := range wafer.StandardSides {
+				p := core.Params{
+					Substrate:  wafer.Substrate{SideMM: side},
+					WSI:        wsi,
+					ExternalIO: ext,
+					Chiplet:    chip,
+					Seed:       1,
+				}
+				r, err := core.MaxPorts(p, core.NoPower)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("  %3.0fmm:%6d", side, r.Best.Ports)
+			}
+			fmt.Println()
+		}
+		// Show what limits the best optical design at 300 mm.
+		p := core.Params{
+			Substrate:  wafer.Substrate{SideMM: 300},
+			WSI:        wsi,
+			ExternalIO: tech.OpticalIO,
+			Chiplet:    chip,
+			Seed:       1,
+		}
+		r, err := core.MaxPorts(p, core.NoPower)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, d := range r.Evaluated {
+			if !d.Feasible && d.Ports == 2*r.Best.Ports {
+				fmt.Printf("  (optical, 300mm: %d ports blocked by %s)\n", d.Ports, d.Reasons[0])
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("=== sub-switch deradixing at 3200 Gbps/mm, 300 mm (Fig 17/19) ===")
+	for _, factor := range []int{1, 2, 4} {
+		c, err := chip.Deradix(factor)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p := core.Params{
+			Substrate:  wafer.Substrate{SideMM: 300},
+			WSI:        tech.SiIF,
+			ExternalIO: tech.OpticalIO,
+			Chiplet:    c,
+			Seed:       1,
+		}
+		r, err := core.MaxPorts(p, core.NoPower)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  SSC radix %3d -> %5d switch ports\n", c.Radix, r.Best.Ports)
+	}
+}

@@ -1,0 +1,58 @@
+// Quickstart: size a waferscale network switch.
+//
+// This example walks the library's core flow: pick a substrate and
+// technologies, find the maximum feasible radix, inspect why larger
+// designs fail, and print the power breakdown of the winner.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"waferswitch/internal/core"
+	"waferswitch/internal/ssc"
+	"waferswitch/internal/tech"
+	"waferswitch/internal/wafer"
+)
+
+func main() {
+	// A 300 mm substrate with Vdd-scaled Si-IF links (6400 Gbps/mm),
+	// optical external I/O and TH-5-class sub-switch chiplets.
+	params := core.Params{
+		Substrate:  wafer.Substrate{SideMM: 300},
+		WSI:        tech.SiIF.Scaled(2),
+		ExternalIO: tech.OpticalIO,
+		Chiplet:    ssc.MustTH5(200),
+		Cooling:    tech.WaterCooling,
+		// Heterogeneous design: TH-3-class radix-64 leaves cut switch
+		// power by ~a third (Section V-B of the paper).
+		HeteroLeafRadix: 64,
+		Seed:            1,
+	}
+
+	result, err := core.MaxPorts(params, core.AllConstraints)
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := result.Best
+	fmt.Printf("Largest feasible waferscale switch on a %v:\n", params.Substrate)
+	fmt.Printf("  %d ports x %.0f Gbps (%.1f Tbps total)\n",
+		best.Ports, params.Chiplet.PortGbps, float64(best.Ports)*params.Chiplet.PortGbps/1000)
+	fmt.Printf("  chiplets: %d on a %dx%d grid (+%d I/O chiplets)\n",
+		best.Topology.ChipletCount(), best.GridRows, best.GridCols, best.IOChiplets)
+	fmt.Printf("  bottleneck channel: %d of %d lanes\n", best.MaxChannelLoad, best.EdgeCapacity)
+	fmt.Printf("  power: %.1f kW (SSC %.1f + internal I/O %.1f + external I/O %.1f)\n",
+		best.Power.TotalW()/1000, best.Power.SSCLogicW/1000,
+		best.Power.InternalIOW/1000, best.Power.ExternalIOW/1000)
+	fmt.Printf("  power density: %.2f W/mm^2 (%s cooling limit %.2f)\n\n",
+		best.PowerDensity, params.Cooling.Name, params.Cooling.MaxWPerMM2)
+
+	fmt.Println("Why not bigger? Evaluated candidates:")
+	for _, d := range result.Evaluated {
+		status := "feasible"
+		if !d.Feasible {
+			status = "infeasible: " + d.Reasons[0]
+		}
+		fmt.Printf("  %6d ports — %s\n", d.Ports, status)
+	}
+}

@@ -1,0 +1,3 @@
+module waferswitch
+
+go 1.22

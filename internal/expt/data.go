@@ -1,0 +1,144 @@
+package expt
+
+import (
+	"fmt"
+
+	"waferswitch/internal/scaling"
+	"waferswitch/internal/ssc"
+	"waferswitch/internal/tech"
+)
+
+func init() {
+	register("fig1", fig1)
+	register("table1", table1)
+	register("table2", table2)
+	register("table4", table4)
+	register("table5", table5)
+	register("fig15", fig15)
+}
+
+// fig1 reproduces the motivation data: switch radix and total bandwidth
+// scaling 2010-2022 (Fig 1a) and package I/O pin density 1999-2023
+// (Fig 1b). Values are the public generation datapoints the figure plots.
+func fig1(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "fig1",
+		Title:   "Radix and bandwidth scaling (a); package pin density (b)",
+		Headers: []string{"year", "max radix (100G-equiv)", "total BW (Tbps)", "BGA pins/cm^2", "LGA pins/cm^2"},
+	}
+	type year struct {
+		y        int
+		radix    int
+		bw       float64
+		bga, lga float64
+	}
+	data := []year{
+		{2010, 64, 0.64, 25, 62},
+		{2013, 128, 1.28, 32, 75},
+		{2016, 128, 3.2, 40, 96},
+		{2018, 256, 12.8, 49, 120},
+		{2020, 256, 25.6, 58, 140},
+		{2022, 512, 51.2, 64, 160},
+	}
+	for _, d := range data {
+		t.AddRow(d.y, d.radix, d.bw, d.bga, d.lga)
+	}
+	first, last := data[0], data[len(data)-1]
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("radix grew %.0fx while total bandwidth grew %.0fx over 2010-2022 (paper: 8x vs 80x)",
+			float64(last.radix)/float64(first.radix), last.bw/first.bw))
+	return t, nil
+}
+
+// table1 lists the waferscale integration technologies (paper Table I).
+func table1(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "table1",
+		Title:   "Chiplet-based waferscale integration technologies",
+		Headers: []string{"technology", "BW density (Gbps/mm)", "signal layers", "energy (pJ/bit)", "hop latency (ns)", "wire pitch (um)"},
+	}
+	for _, w := range []tech.WSI{tech.Interposer, tech.SiIF, tech.InFOSoW} {
+		t.AddRow(w.Name, w.BandwidthGbpsPerMM, w.SignalLayers, w.EnergyPJPerBit, w.HopLatencyNS, w.WirePitchUM)
+	}
+	return t, nil
+}
+
+// table2 lists the Tomahawk-5 sub-switch chiplet configurations (paper
+// Table II).
+func table2(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "table2",
+		Title:   "TH-5 sub-switch chiplet parameters",
+		Headers: []string{"configuration", "radix", "port rate (Gbps)", "area (mm^2)", "core power (W)"},
+	}
+	for _, rate := range []float64{200, 400, 800} {
+		c, err := ssc.TH5(rate)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(c.Name, c.Radix, c.PortGbps, c.AreaMM2, c.NonIOPowerW())
+	}
+	t.Notes = append(t.Notes, "total power 500 W including 2 pJ/bit SerDes I/O at 51.2 Tbps")
+	return t, nil
+}
+
+// table4 lists the external I/O technologies (paper Table IV).
+func table4(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "table4",
+		Title:   "External I/O technologies",
+		Headers: []string{"technology", "type", "escape bandwidth", "energy (pJ/bit)", "max BW @300mm (Tbps)"},
+	}
+	for _, e := range []tech.ExternalIO{tech.SerDes, tech.OpticalIO, tech.AreaIOTech} {
+		var esc string
+		if e.Kind == tech.PeripheryIO {
+			esc = fmt.Sprintf("%v Gbps/mm x %d layers (%.0f%% perimeter)",
+				e.EdgeGbpsPerMM, e.Layers, e.UsablePerimeterFraction*100)
+		} else {
+			esc = fmt.Sprintf("%v Gbps/mm^2", e.AreaGbpsPerMM2)
+		}
+		t.AddRow(e.Name, e.Kind.String(), esc, e.EnergyPJPerBit, e.MaxBandwidthGbps(300)/1000)
+	}
+	return t, nil
+}
+
+// table5 lists the inter-ASIC connection latencies (paper Table V).
+func table5(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "table5",
+		Title:   "Latency of connections between switching ASICs",
+		Headers: []string{"connection", "latency (ns)", "simulation cycles (20 ns each)"},
+	}
+	t.AddRow("on-wafer (Si-IF)", "10-20", 1)
+	t.AddRow("in-rack PCB", "100-200", 8)
+	t.AddRow("100 m optical link", "350", 18)
+	return t, nil
+}
+
+// fig15 reproduces the commodity-switch power scaling study: reported
+// powers normalized to 5 nm and the fitted power law per series, against
+// the theoretical quadratic model.
+func fig15(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "fig15",
+		Title:   "Normalized switch core power vs radix, with power-law fits",
+		Headers: []string{"chip", "series", "node (nm)", "radix (200G)", "reported (W)", "non-I/O @5nm (W)", "quadratic model (W)"},
+	}
+	quad := scaling.QuadraticModel(ssc.RefRadix, ssc.RefNonIOPowerW)
+	for _, c := range scaling.CommoditySwitches {
+		norm, err := c.NormalizedPowerW()
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(c.Name, c.Series, c.NodeNM, c.Radix200G(), c.ReportedPowerW, norm, quad(c.Radix200G()))
+	}
+	for _, series := range []string{"Tomahawk", "TeraLynx"} {
+		fit, err := scaling.FitSeries(series, scaling.CommoditySwitches)
+		if err != nil {
+			return nil, err
+		}
+		t.Notes = append(t.Notes, fmt.Sprintf("%s fit: P = %.3g * k^%.2f (R^2 = %.2f) — superlinear, near quadratic",
+			series, fit.A, fit.Exponent, fit.R2))
+	}
+	return t, nil
+}

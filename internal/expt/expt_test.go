@@ -1,0 +1,169 @@
+package expt
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRun executes every registered experiment in Quick
+// mode and sanity-checks the output shape.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep in short mode")
+	}
+	o := Options{Quick: true, Seed: 1}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tab, err := Run(id, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tab.ID != id {
+				t.Errorf("table ID = %q, want %q", tab.ID, id)
+			}
+			if len(tab.Rows) == 0 {
+				t.Error("experiment produced no rows")
+			}
+			if len(tab.Headers) == 0 {
+				t.Error("experiment produced no headers")
+			}
+			for i, r := range tab.Rows {
+				if len(r) != len(tab.Headers) {
+					t.Errorf("row %d has %d cells for %d headers", i, len(r), len(tab.Headers))
+				}
+			}
+			if out := tab.Render(); !strings.Contains(out, id) {
+				t.Error("Render() missing experiment id")
+			}
+		})
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("fig999", Options{}); err == nil {
+		t.Error("unknown experiment id accepted")
+	}
+}
+
+func TestIDsComplete(t *testing.T) {
+	want := []string{
+		"fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+		"fig12", "fig13", "fig15", "fig16", "fig17", "fig18", "fig19",
+		"fig21", "fig22", "fig23", "fig24", "fig25", "fig26", "fig27",
+		"fig28", "table1", "table2", "table3", "table4", "table5",
+		"table6", "table7", "table8", "table9",
+		"ext-yield", "ext-optimizers", "ext-meshsim", "ext-tail",
+	}
+	got := map[string]bool{}
+	for _, id := range IDs() {
+		got[id] = true
+	}
+	for _, id := range want {
+		if !got[id] {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("registered %d experiments, want %d", len(got), len(want))
+	}
+}
+
+// Key paper anchors must appear in the quick-mode results.
+func TestFig6IdealAnchors(t *testing.T) {
+	tab, err := Run("fig6", Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := func(rowSub string, col int) string {
+		for _, r := range tab.Rows {
+			if r[0] == rowSub {
+				return r[col]
+			}
+		}
+		t.Fatalf("no row for substrate %s", rowSub)
+		return ""
+	}
+	if got := cell("300", 1); got != "8192" {
+		t.Errorf("ideal 300mm 200G ports = %s, want 8192", got)
+	}
+	if got := cell("100", 1); got != "1024" {
+		t.Errorf("ideal 100mm 200G ports = %s, want 1024", got)
+	}
+	if got := cell("300", 4); got != "32x" {
+		t.Errorf("ideal benefit = %s, want 32x", got)
+	}
+}
+
+func TestTable7ExactValues(t *testing.T) {
+	tab, err := Run("table7", Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(metric string) []string {
+		for _, r := range tab.Rows {
+			if r[0] == metric {
+				return r
+			}
+		}
+		t.Fatalf("missing metric %q", metric)
+		return nil
+	}
+	if r := find("# of switches"); r[1] != "1" || r[2] != "96" {
+		t.Errorf("switches row = %v, want 1 vs 96", r)
+	}
+	if r := find("size (RU)"); r[1] != "20" || r[2] != "192" {
+		t.Errorf("RU row = %v, want 20 vs 192", r)
+	}
+}
+
+func TestFig16ReductionInPaperBand(t *testing.T) {
+	tab, err := Run("fig16", Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the 300 mm row and parse its reduction percentage.
+	for _, r := range tab.Rows {
+		if r[0] != "300" {
+			continue
+		}
+		red, err := strconv.ParseFloat(strings.TrimSuffix(r[4], "%"), 64)
+		if err != nil {
+			t.Fatalf("cannot parse reduction %q", r[4])
+		}
+		if red < 25 || red > 45 {
+			t.Errorf("300mm hetero reduction = %v%%, want 25-45%% (paper: 30.8%%)", red)
+		}
+		if r[6] != "true" {
+			t.Errorf("300mm hetero design not within water cooling: %v", r)
+		}
+		return
+	}
+	t.Fatal("no 300mm row in fig16")
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{ID: "x", Title: "t", Headers: []string{"a", "bb"}, Notes: []string{"n"}}
+	tab.AddRow(1, 2.50)
+	out := tab.Render()
+	for _, want := range []string{"a", "bb", "1", "2.5", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render() missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{1, "1"}, {2.5, "2.5"}, {2.50, "2.5"}, {0, "0"}, {-1.25, "-1.25"}, {0.001, "0"},
+	}
+	for _, tc := range tests {
+		if got := trimFloat(tc.in); got != tc.want {
+			t.Errorf("trimFloat(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package expt
+
+import (
+	"fmt"
+
+	"waferswitch/internal/core"
+	"waferswitch/internal/ssc"
+	"waferswitch/internal/tech"
+	"waferswitch/internal/topo"
+	"waferswitch/internal/wafer"
+)
+
+func init() {
+	register("fig25", fig25)
+}
+
+// topoBuilder constructs the largest instance of one topology family that
+// fits within maxChiplets chiplets of the given class, or nil if none
+// fits.
+type topoBuilder struct {
+	name string
+	// identity marks topologies whose native layout is the wafer mesh.
+	identity bool
+	build    func(maxChiplets int, chip ssc.Chiplet) (*topo.Topology, error)
+	// shrink returns the next-smaller size parameter to try when the
+	// current instance is infeasible under constraints; builders receive
+	// maxChiplets directly, so shrinking halves it.
+}
+
+var directFamilies = []topoBuilder{
+	{
+		name:     "mesh",
+		identity: true,
+		build: func(maxChiplets int, chip ssc.Chiplet) (*topo.Topology, error) {
+			rows, cols := inscribedGrid(maxChiplets)
+			return topo.BalancedMesh(rows, cols, chip)
+		},
+	},
+	{
+		name: "butterfly",
+		build: func(maxChiplets int, chip ssc.Chiplet) (*topo.Topology, error) {
+			stage2 := chip.Radix / 4 // 3:1 oversubscription
+			stage1 := maxChiplets - stage2
+			if stage1 > chip.Radix {
+				stage1 = chip.Radix
+			}
+			return topo.Butterfly2(stage1, chip, 3)
+		},
+	},
+	{
+		name: "flatbutterfly",
+		build: func(maxChiplets int, chip ssc.Chiplet) (*topo.Topology, error) {
+			rows, cols := inscribedGrid(maxChiplets)
+			return topo.FlattenedButterfly(rows, cols, chip)
+		},
+	},
+	{
+		name: "dragonfly",
+		build: func(maxChiplets int, chip ssc.Chiplet) (*topo.Topology, error) {
+			return topo.BalancedDragonfly(maxChiplets, chip)
+		},
+	},
+}
+
+// fig25 compares the maximum 200G ports across topology families in three
+// regimes: (a) area-only ("ideal"), (b) all constraints at the baseline
+// 3200 Gbps/mm with water cooling, (c) constraints with the optimizations
+// applied (6400 Gbps/mm Vdd-scaled links, deradixing for every family,
+// heterogeneous leaves for Clos).
+func fig25(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "fig25",
+		Title:   "Max 200G ports by topology: ideal / constrained / optimized (300 mm, Optical I/O)",
+		Headers: []string{"topology", "(a) ideal", "(b) constrained", "(c) optimized", "ideal benefit vs TH-5"},
+	}
+	const side = 300
+	sub := wafer.Substrate{SideMM: side}
+	chip := ssc.MustTH5(200)
+	sites := sub.MaxSites(chip.AreaMM2)
+
+	// Clos row via the core solver.
+	closIdeal, err := core.MaxPorts(baseParams(side, tech.SiIF, tech.OpticalIO, o), core.AreaOnly)
+	if err != nil {
+		return nil, err
+	}
+	pb := baseParams(side, tech.SiIF, tech.OpticalIO, o)
+	pb.Cooling = tech.WaterCooling
+	closCons, err := core.MaxPorts(pb, core.AllConstraints)
+	if err != nil {
+		return nil, err
+	}
+	closOpt := 0
+	for _, deradix := range []int{1, 2} {
+		c, err := chip.Deradix(deradix)
+		if err != nil {
+			return nil, err
+		}
+		po := baseParams(side, tech.SiIF.Scaled(2), tech.OpticalIO, o)
+		po.Chiplet = c
+		po.HeteroLeafRadix = c.Radix / 4
+		po.Cooling = tech.WaterCooling
+		r, err := core.MaxPorts(po, core.AllConstraints)
+		if err != nil {
+			return nil, err
+		}
+		if r.Best.Ports > closOpt {
+			closOpt = r.Best.Ports
+		}
+	}
+	t.AddRow("clos", closIdeal.Best.Ports, closCons.Best.Ports, closOpt,
+		fmt.Sprintf("%.0fx", float64(closIdeal.Best.Ports)/256))
+
+	for _, fam := range directFamilies {
+		ideal, err := directMaxPorts(fam, chip, sites, side, tech.SiIF, core.AreaOnly, tech.NoCoolingLimit, o)
+		if err != nil {
+			return nil, err
+		}
+		cons, err := directMaxPorts(fam, chip, sites, side, tech.SiIF, core.AllConstraints, tech.WaterCooling, o)
+		if err != nil {
+			return nil, err
+		}
+		opt := 0
+		for _, deradix := range []int{1, 2} {
+			c, err := chip.Deradix(deradix)
+			if err != nil {
+				return nil, err
+			}
+			v, err := directMaxPorts(fam, c, sites, side, tech.SiIF.Scaled(2), core.AllConstraints, tech.WaterCooling, o)
+			if err != nil {
+				return nil, err
+			}
+			if v > opt {
+				opt = v
+			}
+		}
+		t.AddRow(fam.name, ideal, cons, opt, fmt.Sprintf("%.0fx", float64(ideal)/256))
+	}
+	t.Notes = append(t.Notes,
+		"paper (ideal): butterfly 44x, dragonfly 31x, flattened butterfly 19x, mesh 44x vs TH-5; our sizing conventions differ (see DESIGN.md) but preserve the ordering",
+		"direct topologies lose most under constraints: their external-port demand per chiplet is higher")
+	return t, nil
+}
+
+// inscribedGrid returns the largest near-square rows x cols grid with
+// rows*cols <= n.
+func inscribedGrid(n int) (rows, cols int) {
+	rows = 1
+	for r := 2; r*r <= n; r++ {
+		rows = r
+	}
+	cols = n / rows
+	return rows, cols
+}
+
+// directMaxPorts searches chiplet budgets downward for the largest
+// feasible instance of a direct-topology family.
+func directMaxPorts(fam topoBuilder, chip ssc.Chiplet, sites int, side float64, w tech.WSI, cons core.Constraints, cooling tech.Cooling, o Options) (int, error) {
+	for budget := sites; budget >= 4; budget = budget * 3 / 4 {
+		tp, err := fam.build(budget, chip)
+		if err != nil {
+			continue
+		}
+		p := core.Params{
+			Substrate:   wafer.Substrate{SideMM: side},
+			WSI:         w,
+			ExternalIO:  tech.OpticalIO,
+			Chiplet:     chip,
+			Cooling:     cooling,
+			MapRestarts: o.restarts(),
+			Seed:        o.seed(),
+		}
+		d, err := core.EvaluateTopology(p, tp, tp, fam.identity, cons)
+		if err != nil {
+			continue
+		}
+		if d.Feasible {
+			return d.Ports, nil
+		}
+	}
+	return chip.Radix, nil // single chip fallback
+}

@@ -1,0 +1,144 @@
+// Package expt is the experiment harness: one runner per table and figure
+// of the paper's evaluation, each returning the rows/series the paper
+// reports. The cmd/wsswitch binary and the benchmark suite drive this
+// package; EXPERIMENTS.md records paper-vs-measured values per id.
+package expt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is the result of one experiment: the rows of a paper table, or
+// the series of a paper figure rendered as rows.
+type Table struct {
+	ID      string
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row, formatting every cell with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Options tunes experiment execution.
+type Options struct {
+	// Quick reduces simulation scale and optimizer restarts so the whole
+	// suite runs in seconds (used by tests and -short benchmarks).
+	Quick bool
+	// Seed makes every experiment deterministic.
+	Seed int64
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+func (o Options) restarts() int {
+	if o.Quick {
+		return 1
+	}
+	return 3
+}
+
+// Runner executes one experiment.
+type Runner func(Options) (*Table, error)
+
+var registry = map[string]Runner{}
+
+func register(id string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("expt: duplicate experiment id " + id)
+	}
+	registry[id] = r
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, o Options) (*Table, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("expt: unknown experiment %q (see IDs())", id)
+	}
+	t, err := r(o)
+	if err != nil {
+		return nil, fmt.Errorf("expt: %s: %w", id, err)
+	}
+	return t, nil
+}
+
+// IDs lists all registered experiment ids in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,77 @@
+package expt
+
+import (
+	"fmt"
+
+	"waferswitch/internal/usecase"
+)
+
+func init() {
+	register("table7", table7)
+	register("table8", table8)
+	register("table9", table9)
+}
+
+func comparisonTable(id, title string, c *usecase.Comparison, endpointLabel string) *Table {
+	t := &Table{
+		ID:      id,
+		Title:   title,
+		Headers: []string{"metric", c.Waferscale.Name, c.Conventional.Name},
+	}
+	ws, cv := c.Waferscale, c.Conventional
+	t.AddRow("# of "+endpointLabel, ws.Endpoints, cv.Endpoints)
+	t.AddRow("# of switches", ws.Switches, cv.Switches)
+	t.AddRow("# of cables", ws.Cables, cv.Cables)
+	t.AddRow("worst-case hop count", ws.WorstHops, cv.WorstHops)
+	t.AddRow("size (RU)", ws.SizeRU, cv.SizeRU)
+	t.AddRow("port bandwidth (Gbps)", ws.PortGbps, cv.PortGbps)
+	t.AddRow("bisection bandwidth (Tbps)", ws.BisectionGbps/1000, cv.BisectionGbps/1000)
+	s := usecase.EstimateSavings(c)
+	t.Notes = append(t.Notes, fmt.Sprintf("savings: %.0f%% fewer cables, %.0f%% less switch rack space, ~$%.1fM capex, ~$%.2fM/yr colocation",
+		s.CableReduction*100, s.SpaceReduction*100, s.CapexUSD/1e6, s.ColocationUSDPerYear/1e6))
+	return t
+}
+
+// table7 is the single-switch datacenter comparison (300 mm; the paper's
+// parenthetical 200 mm values are printed as a second note).
+func table7(o Options) (*Table, error) {
+	c, err := usecase.SingleSwitchDC(8192, 200, 20, 256)
+	if err != nil {
+		return nil, err
+	}
+	t := comparisonTable("table7", "Single-switch datacenter vs TH-5 Clos network", c, "servers")
+	c200, err := usecase.SingleSwitchDC(4096, 200, 11, 256)
+	if err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("200 mm variant: %d servers, %d vs %d switches, %d vs %d RU",
+		c200.Waferscale.Endpoints, c200.Waferscale.Switches, c200.Conventional.Switches,
+		c200.Waferscale.SizeRU, c200.Conventional.SizeRU))
+	return t, nil
+}
+
+// table8 is the singular-GPU cluster comparison against the DGX GH200
+// NVswitch network.
+func table8(o Options) (*Table, error) {
+	c := usecase.SingularGPU(2048, 800, 20)
+	t := comparisonTable("table8", "Singular GPU cluster vs NVswitch network", c, "GPUs")
+	t.Notes = append(t.Notes, "2048 GPUs at 800 Gbps reach 1.152 PB of shared VRAM at a single hop (Section VIII-B)")
+	return t, nil
+}
+
+// table9 is the hyperscale DCN comparison: 48 waferscale spine switches
+// vs a conventional TH-5 Clos.
+func table9(o Options) (*Table, error) {
+	c, err := usecase.SpineDCN(16384, 1600, 800, 2048, 20, 256, 200)
+	if err != nil {
+		return nil, err
+	}
+	t := comparisonTable("table9", "Hyperscale DCN: waferscale spine vs TH-5 Clos", c, "racks")
+	c200, err := usecase.SpineDCN(8192, 1600, 800, 1024, 11, 256, 200)
+	if err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("200 mm variant: %d racks, %d waferscale switches, %d vs %d cables",
+		c200.Waferscale.Endpoints, c200.Waferscale.Switches, c200.Waferscale.Cables, c200.Conventional.Cables))
+	return t, nil
+}

@@ -1,0 +1,119 @@
+package mapping
+
+import (
+	"math/rand"
+	"testing"
+
+	"waferswitch/internal/ssc"
+	"waferswitch/internal/topo"
+)
+
+func TestAnnealImproves(t *testing.T) {
+	c := smallClos(t, 2048)
+	rng := rand.New(rand.NewSource(3))
+	p, err := New(c, 6, 6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := p.Cost()
+	p.Anneal(40, rng)
+	after := p.Cost()
+	if before.Less(after) {
+		t.Errorf("Anneal made cost worse: %+v -> %+v", before, after)
+	}
+	if after.MaxLoad >= before.MaxLoad {
+		t.Errorf("Anneal did not reduce MaxLoad: %d -> %d", before.MaxLoad, after.MaxLoad)
+	}
+}
+
+// Annealing must keep the load accounting consistent (rebuild check, as
+// for Optimize).
+func TestAnnealConsistency(t *testing.T) {
+	c := smallClos(t, 1024)
+	rng := rand.New(rand.NewSource(5))
+	p, err := New(c, 4, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Anneal(30, rng)
+	positions := make([]int, len(c.Nodes))
+	for id := range c.Nodes {
+		r, col := p.NodeCell(id)
+		positions[id] = r*p.Cols + col
+	}
+	q, err := NewWithPositions(c, p.Rows, p.Cols, positions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.MaxLoad() != p.MaxLoad() || q.TotalLaneHops() != p.TotalLaneHops() {
+		t.Errorf("annealed loads inconsistent: (%d,%d) vs rebuilt (%d,%d)",
+			p.MaxLoad(), p.TotalLaneHops(), q.MaxLoad(), q.TotalLaneHops())
+	}
+}
+
+// Both optimizers should land in the same quality band on a mid-size
+// Clos; neither may be wildly worse than the other.
+func TestAnnealComparableToPairwise(t *testing.T) {
+	c, err := topo.HomogeneousClos(4096, ssc.MustTH5(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := Best(c, 8, 8, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	annealed, err := BestAnnealed(c, 8, 8, 2, 60, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, a := greedy.MaxLoad(), annealed.MaxLoad()
+	if a > g*3/2 {
+		t.Errorf("annealed MaxLoad %d much worse than pairwise %d", a, g)
+	}
+	if g > a*3/2 {
+		t.Errorf("pairwise MaxLoad %d much worse than annealed %d", g, a)
+	}
+}
+
+func TestAnnealAfterExternalPanics(t *testing.T) {
+	c := smallClos(t, 1024)
+	rng := rand.New(rand.NewSource(2))
+	p, err := New(c, 4, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := SpreadEscape(1<<20, len(p.BoundaryCells()), 1<<20)
+	if err := p.RouteExternal(big); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Anneal after RouteExternal did not panic")
+		}
+	}()
+	p.Anneal(1, rng)
+}
+
+func TestRestorePositions(t *testing.T) {
+	c := smallClos(t, 1024)
+	rng := rand.New(rand.NewSource(9))
+	p, err := New(c, 4, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := append([]int(nil), p.pos...)
+	origMax, origHops := p.MaxLoad(), p.TotalLaneHops()
+	// Scramble, then restore.
+	p.swapCells(0, 5)
+	p.swapCells(3, 12)
+	p.restorePositions(orig)
+	if p.MaxLoad() != origMax || p.TotalLaneHops() != origHops {
+		t.Errorf("restore changed loads: (%d,%d) vs (%d,%d)",
+			p.MaxLoad(), p.TotalLaneHops(), origMax, origHops)
+	}
+	for n, c := range p.pos {
+		if p.cell[c] != n {
+			t.Fatalf("cell table inconsistent at node %d", n)
+		}
+	}
+}

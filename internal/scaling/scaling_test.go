@@ -1,0 +1,149 @@
+package scaling
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPowerScaleFactorIdentity(t *testing.T) {
+	for _, n := range SupportedNodes() {
+		f, err := PowerScaleFactor(n, n)
+		if err != nil {
+			t.Fatalf("PowerScaleFactor(%d, %d): %v", n, n, err)
+		}
+		if f != 1 {
+			t.Errorf("PowerScaleFactor(%d, %d) = %v, want 1", n, n, f)
+		}
+	}
+}
+
+func TestPowerScaleFactorDirection(t *testing.T) {
+	// Porting from an older node to a newer node must reduce power.
+	f, err := PowerScaleFactor(16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f >= 1 {
+		t.Errorf("16nm -> 5nm factor = %v, want < 1", f)
+	}
+	g, err := PowerScaleFactor(5, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f*g-1) > 1e-12 {
+		t.Errorf("round-trip factor = %v, want 1", f*g)
+	}
+}
+
+func TestPowerScaleFactorUnknownNode(t *testing.T) {
+	if _, err := PowerScaleFactor(6, 5); err == nil {
+		t.Error("PowerScaleFactor(6, 5) did not fail for unsupported node")
+	}
+	if _, err := PowerScaleFactor(5, 6); err == nil {
+		t.Error("PowerScaleFactor(5, 6) did not fail for unsupported node")
+	}
+}
+
+func TestNonIOPower(t *testing.T) {
+	// TH-5: 500 W reported, 51.2 Tbps at 2 pJ/bit is 102.4 W of I/O, so
+	// ~400 W non-I/O — exactly the paper's Table II.
+	var th5 SwitchChip
+	for _, c := range CommoditySwitches {
+		if c.Name == "Tomahawk 5" {
+			th5 = c
+		}
+	}
+	if got := th5.NonIOPowerW(); math.Abs(got-397.6) > 0.01 {
+		t.Errorf("TH-5 non-I/O power = %v, want 397.6", got)
+	}
+	if got := th5.Radix200G(); got != 256 {
+		t.Errorf("TH-5 radix = %v, want 256", got)
+	}
+}
+
+func TestFitSeriesSuperlinear(t *testing.T) {
+	// The whole point of Fig 15: both series scale superlinearly
+	// (near-quadratically) after normalization to 5 nm.
+	for _, series := range []string{"Tomahawk", "TeraLynx"} {
+		fit, err := FitSeries(series, CommoditySwitches)
+		if err != nil {
+			t.Fatalf("FitSeries(%q): %v", series, err)
+		}
+		if fit.Exponent < 1.3 || fit.Exponent > 2.5 {
+			t.Errorf("%s exponent = %v, want superlinear in [1.3, 2.5]", series, fit.Exponent)
+		}
+		if fit.R2 < 0.85 {
+			t.Errorf("%s fit R^2 = %v, want >= 0.85", series, fit.R2)
+		}
+		if len(fit.Points) < 2 {
+			t.Errorf("%s fit has %d points", series, len(fit.Points))
+		}
+	}
+}
+
+func TestFitSeriesUnknown(t *testing.T) {
+	if _, err := FitSeries("Nexus", CommoditySwitches); err == nil {
+		t.Error("FitSeries on unknown series did not fail")
+	}
+}
+
+func TestFitEvalInterpolates(t *testing.T) {
+	fit, err := FitSeries("Tomahawk", CommoditySwitches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The model should pass within 2.5x of every datapoint (it is a
+	// two-parameter fit over noisy public data).
+	for _, p := range fit.Points {
+		model := fit.Eval(p[0])
+		ratio := model / p[1]
+		if ratio < 0.4 || ratio > 2.5 {
+			t.Errorf("fit at radix %v = %v, datapoint %v (ratio %v)", p[0], model, p[1], ratio)
+		}
+	}
+}
+
+func TestQuadraticModel(t *testing.T) {
+	p := QuadraticModel(256, 400)
+	tests := []struct{ k, want float64 }{
+		{256, 400}, {128, 100}, {64, 25}, {512, 1600},
+	}
+	for _, tc := range tests {
+		if got := p(tc.k); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("QuadraticModel(256,400)(%v) = %v, want %v", tc.k, got, tc.want)
+		}
+	}
+}
+
+// The quadratic model underpins the heterogeneity optimization: replacing
+// a radix-k switch with two radix-k/2 switches must always reduce power.
+func TestQuadraticDisaggregationAlwaysWins(t *testing.T) {
+	p := QuadraticModel(256, 400)
+	f := func(raw uint16) bool {
+		k := float64(raw%4096) + 2
+		return 2*p(k/2) < p(k)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 2x + 1
+	slope, intercept, r2 := linearFit(xs, ys)
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-1) > 1e-12 {
+		t.Errorf("linearFit = (%v, %v), want (2, 1)", slope, intercept)
+	}
+	if math.Abs(r2-1) > 1e-12 {
+		t.Errorf("R^2 = %v, want 1", r2)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	slope, intercept, _ := linearFit([]float64{2, 2}, []float64{1, 3})
+	if slope != 0 || intercept != 2 {
+		t.Errorf("degenerate fit = (%v, %v), want (0, 2)", slope, intercept)
+	}
+}

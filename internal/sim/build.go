@@ -1,0 +1,322 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"waferswitch/internal/topo"
+)
+
+// LinkLatency returns the channel latency in cycles between two directly
+// connected routers (topology nodes). The waferscale switch uses 1-cycle
+// on-wafer hops; the equivalent discrete switch network uses ~8 cycles of
+// board/cable latency (Table V / Fig 23).
+type LinkLatency func(a, b int) int
+
+// ConstantLatency returns a LinkLatency of fixed value.
+func ConstantLatency(cycles int) LinkLatency {
+	return func(a, b int) int { return cycles }
+}
+
+// pendingPkt is a generated but not yet fully injected packet.
+type pendingPkt struct {
+	dst      int32
+	size     int32
+	born     int64
+	measured bool
+}
+
+// Network is a simulable switch fabric instantiated from a logical
+// topology: one router per sub-switch chiplet, one channel pair per lane,
+// one terminal per external port.
+type Network struct {
+	cfg  Config
+	R    int // routers
+	V    int // VCs per input port
+	maxP int // ports per router (padded)
+	T    int // terminals
+
+	numPorts []int32
+	rcOfIn   []int32 // per input port: RC delay (ingress vs non-ingress)
+	saRR     []int32 // per-router rotating input priority
+	saVCRR   []int32 // per input port: rotating VC priority
+
+	vcs    []vcState // (r*maxP+p)*V + v
+	inOcc  []int32   // r*maxP + p: flits buffered at input port
+	feedCh []int32   // channel feeding input port, -1 if terminal/unused
+	outs   []outState
+
+	channels []channel
+
+	termChIn []int32 // terminal -> its injection channel
+
+	destRouter []int32 // terminal -> hosting router
+	nextPorts  [][][]int32
+	egressPort []int32 // terminal -> output port on hosting router
+
+	// Terminal source state.
+	srcQ      [][]pendingPkt
+	srcQHead  []int32
+	srcSent   []int32 // flits of the current packet already injected
+	srcCredit []int32
+	curPkt    []int32 // packet-table index of the packet being injected
+
+	// Packet table with freelist.
+	pkts     []packetInfo
+	freePkts []int32
+
+	rng *rand.Rand
+
+	// Scratch for switch allocation, reused across routers.
+	saWinner []int32 // per output port: winning input-VC global index
+	saStamp  []int64
+	saClock  int64
+
+	now int64
+
+	// Statistics accumulators (managed by run.go).
+	measStart, measEnd int64
+	latencySum         float64
+	latencies          []float64 // per measured packet, for percentiles
+	completed          int
+	measuredBorn       int
+	ejectedFlits       int64
+}
+
+// Build instantiates a simulable network from a logical topology. Every
+// lane of every topology link becomes a bidirectional channel pair with
+// the latency given by lat (plus the router pipeline depth), and every
+// external port becomes a terminal.
+func Build(t *topo.Topology, lat LinkLatency, cfg Config) (*Network, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	R := len(t.Nodes)
+
+	// Assign ports: terminals first, then link lanes.
+	numPorts := make([]int32, R)
+	for i, n := range t.Nodes {
+		numPorts[i] = int32(n.ExternalPorts)
+	}
+	type lanePort struct{ a, pa, b, pb, lat int }
+	var lanes []lanePort
+	for _, l := range t.Links {
+		for i := 0; i < l.Lanes; i++ {
+			lanes = append(lanes, lanePort{
+				a: l.A, pa: int(numPorts[l.A]) + i,
+				b: l.B, pb: int(numPorts[l.B]) + i,
+				lat: lat(l.A, l.B),
+			})
+		}
+		numPorts[l.A] += int32(l.Lanes)
+		numPorts[l.B] += int32(l.Lanes)
+	}
+	maxP := 0
+	for _, p := range numPorts {
+		if int(p) > maxP {
+			maxP = int(p)
+		}
+	}
+	T := t.ExternalPorts()
+
+	n := &Network{
+		cfg:      cfg,
+		R:        R,
+		V:        cfg.NumVCs,
+		maxP:     maxP,
+		T:        T,
+		numPorts: numPorts,
+		rcOfIn:   make([]int32, R*maxP),
+		saRR:     make([]int32, R),
+		saVCRR:   make([]int32, R*maxP),
+		vcs:      make([]vcState, R*maxP*cfg.NumVCs),
+		inOcc:    make([]int32, R*maxP),
+		feedCh:   make([]int32, R*maxP),
+		outs:     make([]outState, R*maxP),
+		saWinner: make([]int32, maxP),
+		saStamp:  make([]int64, maxP),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for i := range n.feedCh {
+		n.feedCh[i] = -1
+	}
+	for i := range n.rcOfIn {
+		n.rcOfIn[i] = atLeast1(cfg.RCOther)
+	}
+	for i := range n.outs {
+		n.outs[i] = outState{credits: 0, ch: -1}
+	}
+
+	// Inter-router channels (both directions per lane).
+	addChannel := func(srcR, srcP, dstR, dstP, latency int, srcTerm int) int32 {
+		if latency < 1 {
+			latency = 1
+		}
+		ci := int32(len(n.channels))
+		n.channels = append(n.channels, channel{
+			lat:       int32(latency),
+			srcRouter: int32(srcR), srcPort: int32(srcP),
+			srcTerm:   int32(srcTerm),
+			dstRouter: int32(dstR), dstPort: int32(dstP),
+			ring:     make([]flitEv, latency),
+			credRing: make([]int32, latency),
+		})
+		if dstR >= 0 {
+			n.feedCh[dstR*maxP+dstP] = ci
+		}
+		if srcR >= 0 {
+			o := &n.outs[srcR*maxP+srcP]
+			o.ch = ci
+			o.credits = int32(cfg.BufPerPort)
+			o.vcOwner = newOwner(cfg.NumVCs)
+		}
+		return ci
+	}
+	for _, lp := range lanes {
+		addChannel(lp.a, lp.pa, lp.b, lp.pb, lp.lat+cfg.PipeDelay, -1)
+		addChannel(lp.b, lp.pb, lp.a, lp.pa, lp.lat+cfg.PipeDelay, -1)
+	}
+
+	// Terminals: port index equals terminal order within its router.
+	n.termChIn = make([]int32, T)
+	n.destRouter = make([]int32, T)
+	n.egressPort = make([]int32, T)
+	n.srcQ = make([][]pendingPkt, T)
+	n.srcQHead = make([]int32, T)
+	n.srcSent = make([]int32, T)
+	n.srcCredit = make([]int32, T)
+	n.curPkt = make([]int32, T)
+	term := 0
+	for r, node := range t.Nodes {
+		for p := 0; p < node.ExternalPorts; p++ {
+			n.destRouter[term] = int32(r)
+			n.egressPort[term] = int32(p)
+			td := cfg.TermDelay
+			if td < 1 {
+				td = 1
+			}
+			n.termChIn[term] = addChannel(-1, -1, r, p, td, term)
+			n.rcOfIn[r*maxP+p] = atLeast1(cfg.RCIngress)
+			// Terminal sink: the router's output port p ejects to the
+			// host; model it as an infinite-credit sink.
+			o := &n.outs[r*maxP+p]
+			o.ch = -1
+			o.credits = 1 << 30
+			o.vcOwner = newOwner(cfg.NumVCs)
+			n.srcCredit[term] = int32(cfg.BufPerPort)
+			term++
+		}
+	}
+
+	if err := n.buildRoutes(t); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+func newOwner(v int) []int32 {
+	o := make([]int32, v)
+	for i := range o {
+		o[i] = -1
+	}
+	return o
+}
+
+// buildRoutes computes, for every (router, destination router) pair, the
+// set of output ports toward the destination: dimension-order next hops
+// for mesh topologies (deadlock-free wormhole routing), shortest-path
+// candidates from one BFS per destination otherwise (Clos and the other
+// indirect topologies are cycle-free under up/down traversal).
+func (n *Network) buildRoutes(t *topo.Topology) error {
+	R := n.R
+	// Adjacency: for each router, its inter-router output ports and peers.
+	type edge struct{ port, peer int32 }
+	adj := make([][]edge, R)
+	for ci := range n.channels {
+		c := &n.channels[ci]
+		if c.srcRouter < 0 {
+			continue
+		}
+		adj[c.srcRouter] = append(adj[c.srcRouter], edge{port: c.srcPort, peer: c.dstRouter})
+	}
+	n.nextPorts = make([][][]int32, R)
+	for r := range n.nextPorts {
+		n.nextPorts[r] = make([][]int32, R)
+	}
+	if t.MeshRows > 0 && t.MeshCols > 0 {
+		// Dimension-order (X then Y) routing on the grid.
+		cols := t.MeshCols
+		for r := 0; r < R; r++ {
+			rr, rc := r/cols, r%cols
+			for d := 0; d < R; d++ {
+				if r == d {
+					continue
+				}
+				dr, dc := d/cols, d%cols
+				var want int
+				switch {
+				case dc > rc:
+					want = r + 1
+				case dc < rc:
+					want = r - 1
+				case dr > rr:
+					want = r + cols
+				default:
+					want = r - cols
+				}
+				for _, e := range adj[r] {
+					if int(e.peer) == want {
+						n.nextPorts[r][d] = append(n.nextPorts[r][d], e.port)
+					}
+				}
+				if len(n.nextPorts[r][d]) == 0 {
+					return fmt.Errorf("sim: mesh router %d has no DOR hop toward %d", r, d)
+				}
+			}
+		}
+		return nil
+	}
+	dist := make([]int32, R)
+	queue := make([]int32, 0, R)
+	for d := 0; d < R; d++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[d] = 0
+		queue = queue[:0]
+		queue = append(queue, int32(d))
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, e := range adj[u] {
+				if dist[e.peer] == -1 {
+					dist[e.peer] = dist[u] + 1
+					queue = append(queue, e.peer)
+				}
+			}
+		}
+		for r := 0; r < R; r++ {
+			if r == d {
+				continue
+			}
+			if dist[r] == -1 {
+				return fmt.Errorf("sim: router %d cannot reach router %d", r, d)
+			}
+			for _, e := range adj[r] {
+				if dist[e.peer] == dist[r]-1 {
+					n.nextPorts[r][d] = append(n.nextPorts[r][d], e.port)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Terminals returns the number of terminals attached to the network.
+func (n *Network) Terminals() int { return n.T }
+
+// Routers returns the number of routers in the network.
+func (n *Network) Routers() int { return n.R }

@@ -1,0 +1,371 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"waferswitch/internal/traffic"
+)
+
+// Injector produces terminal traffic. Generate is called once per
+// terminal per cycle and may return at most one new packet.
+type Injector interface {
+	Generate(term int, now int64, rng *rand.Rand) (dst, flits int, ok bool)
+}
+
+// RateInjector offers Bernoulli traffic at a fixed load with a synthetic
+// pattern: each cycle each terminal generates a PacketFlits-flit packet
+// with probability Load/PacketFlits.
+type RateInjector struct {
+	Load        float64 // flits/terminal/cycle
+	Pattern     traffic.Pattern
+	PacketFlits int
+}
+
+// Generate implements Injector.
+func (ri RateInjector) Generate(term int, _ int64, rng *rand.Rand) (int, int, bool) {
+	if rng.Float64() >= ri.Load/float64(ri.PacketFlits) {
+		return 0, 0, false
+	}
+	return ri.Pattern.Dest(term, rng), ri.PacketFlits, true
+}
+
+// TraceInjector replays an application trace, pacing each source so its
+// long-run offered load matches Load flits/cycle (the paper's methodology
+// for sweeping trace-driven load in Fig 24).
+type TraceInjector struct {
+	trace *traffic.Trace
+	load  float64
+	next  []float64
+	idx   []int32
+}
+
+// NewTraceInjector builds a trace injector at the given load.
+func NewTraceInjector(tr *traffic.Trace, load float64) (*TraceInjector, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	if load <= 0 {
+		return nil, fmt.Errorf("sim: non-positive trace load %v", load)
+	}
+	return &TraceInjector{
+		trace: tr,
+		load:  load,
+		next:  make([]float64, tr.N),
+		idx:   make([]int32, tr.N),
+	}, nil
+}
+
+// Generate implements Injector.
+func (ti *TraceInjector) Generate(term int, now int64, _ *rand.Rand) (int, int, bool) {
+	msgs := ti.trace.PerSource[term]
+	if len(msgs) == 0 || float64(now) < ti.next[term] {
+		return 0, 0, false
+	}
+	m := msgs[ti.idx[term]]
+	ti.idx[term] = (ti.idx[term] + 1) % int32(len(msgs))
+	ti.next[term] += float64(m.Flits) / ti.load
+	return m.Dst, m.Flits, true
+}
+
+// maxPendingPerTerm bounds the source queue so deeply saturated runs do
+// not exhaust memory; hitting the cap only happens past saturation, where
+// the run is already classified unstable.
+const maxPendingPerTerm = 4096
+
+// Run simulates warmup + measurement, then drains measured packets. A
+// Network can only be run once; build a fresh one per run.
+func (n *Network) Run(inj Injector, offered float64) Stats {
+	cfg := n.cfg
+	n.measStart = int64(cfg.WarmupCycles)
+	n.measEnd = int64(cfg.WarmupCycles + cfg.MeasureCycles)
+	drain := int64(cfg.DrainCycles)
+	if drain <= 0 {
+		drain = 10 * int64(cfg.MeasureCycles)
+	}
+	for n.now = 0; n.now < n.measEnd; n.now++ {
+		n.step(inj)
+	}
+	deadline := n.measEnd + drain
+	for n.completed < n.measuredBorn && n.now < deadline {
+		n.step(inj)
+		n.now++
+	}
+	st := Stats{
+		Offered:   offered,
+		Accepted:  float64(n.ejectedFlits) / float64(n.T) / float64(cfg.MeasureCycles),
+		Completed: n.completed,
+		Drained:   n.completed >= n.measuredBorn,
+		Cycles:    n.now,
+	}
+	if n.completed > 0 {
+		st.AvgLatency = n.latencySum / float64(n.completed)
+		sort.Float64s(n.latencies)
+		st.P50Latency = percentile(n.latencies, 0.50)
+		st.P99Latency = percentile(n.latencies, 0.99)
+	}
+	return st
+}
+
+// percentile returns the p-quantile of sorted values (nearest-rank).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// step advances the network by one cycle: channel arrivals, router
+// pipelines (RC/VA then SA), and terminal injection.
+func (n *Network) step(inj Injector) {
+	n.arrivals()
+	n.routersRCVA()
+	n.routersSA()
+	n.inject(inj)
+}
+
+// arrivals delivers flits and credits whose channel latency elapsed.
+func (n *Network) arrivals() {
+	for ci := range n.channels {
+		c := &n.channels[ci]
+		slot := n.now % int64(c.lat)
+		if ev := &c.ring[slot]; ev.valid {
+			gi := (int(c.dstRouter)*n.maxP+int(c.dstPort))*n.V + int(ev.vc)
+			n.vcs[gi].push(ev.f)
+			n.inOcc[int(c.dstRouter)*n.maxP+int(c.dstPort)]++
+			ev.valid = false
+		}
+		if cr := c.credRing[slot]; cr != 0 {
+			if c.srcTerm >= 0 {
+				n.srcCredit[c.srcTerm] += cr
+			} else {
+				n.outs[int(c.srcRouter)*n.maxP+int(c.srcPort)].credits += cr
+			}
+			c.credRing[slot] = 0
+		}
+	}
+}
+
+// routersRCVA advances route computation and VC allocation for the head
+// packet of every non-empty input VC.
+func (n *Network) routersRCVA() {
+	V := n.V
+	for r := 0; r < n.R; r++ {
+		base := r * n.maxP
+		nP := int(n.numPorts[r])
+		for p := 0; p < nP; p++ {
+			if n.inOcc[base+p] == 0 {
+				continue
+			}
+			vbase := (base + p) * V
+			for v := 0; v < V; v++ {
+				vc := &n.vcs[vbase+v]
+				if vc.empty() {
+					continue
+				}
+				if vc.state == vcIdle {
+					vc.state = vcRouting
+					vc.rcLeft = n.rcOfIn[base+p]
+				}
+				if vc.state == vcRouting {
+					vc.rcLeft--
+					if vc.rcLeft <= 0 {
+						n.computeRoute(r, vc)
+						vc.state = vcVCAlloc
+					}
+				}
+				if vc.state == vcVCAlloc {
+					o := &n.outs[base+int(vc.outPort)]
+					for j := 0; j < V; j++ {
+						ov := (int(o.rrVA) + j) % V
+						if o.vcOwner[ov] == -1 {
+							o.vcOwner[ov] = int32(vbase + v)
+							o.rrVA = int32((ov + 1) % V)
+							vc.outVC = int32(ov)
+							vc.state = vcActive
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// computeRoute fills the VC's output port for its head packet: the egress
+// terminal port on the destination router, or a shortest-path candidate
+// chosen by packet id (balancing packets across parallel lanes and
+// spines).
+func (n *Network) computeRoute(r int, vc *vcState) {
+	f := vc.front()
+	dst := n.pkts[f.pkt].dst
+	dr := int(n.destRouter[dst])
+	if dr == r {
+		vc.outPort = n.egressPort[dst]
+		return
+	}
+	cands := n.nextPorts[r][dr]
+	vc.outPort = cands[int(f.pkt)%len(cands)]
+}
+
+// routersSA performs separable switch allocation per router and forwards
+// the winning flits.
+func (n *Network) routersSA() {
+	V := n.V
+	for r := 0; r < n.R; r++ {
+		base := r * n.maxP
+		nP := int(n.numPorts[r])
+		n.saClock++
+		start := int(n.saRR[r]) % nP
+		n.saRR[r]++
+		for i := 0; i < nP; i++ {
+			p := (start + i) % nP
+			if n.inOcc[base+p] == 0 {
+				continue
+			}
+			vbase := (base + p) * V
+			vcStart := int(n.saVCRR[base+p])
+			for j := 0; j < V; j++ {
+				v := (vcStart + j) % V
+				vc := &n.vcs[vbase+v]
+				if vc.state != vcActive || vc.empty() {
+					continue
+				}
+				out := int(vc.outPort)
+				if n.saStamp[out] == n.saClock {
+					continue // output already granted this cycle
+				}
+				if n.outs[base+out].credits <= 0 {
+					continue
+				}
+				n.saStamp[out] = n.saClock
+				n.saWinner[out] = int32(vbase + v)
+				n.saVCRR[base+p] = int32((v + 1) % V)
+				break // one grant per input port per cycle
+			}
+		}
+		for out := 0; out < nP; out++ {
+			if n.saStamp[out] != n.saClock {
+				continue
+			}
+			n.forward(r, out, int(n.saWinner[out]))
+		}
+	}
+}
+
+// forward moves the winning flit from its input VC onto the output
+// channel (or the terminal sink), returning a credit upstream.
+func (n *Network) forward(r, out, winnerVC int) {
+	vc := &n.vcs[winnerVC]
+	f := vc.pop()
+	inPort := winnerVC / n.V
+	n.inOcc[inPort]--
+	if ci := n.feedCh[inPort]; ci >= 0 {
+		c := &n.channels[ci]
+		c.credRing[n.now%int64(c.lat)]++
+	}
+	o := &n.outs[r*n.maxP+out]
+	if o.ch >= 0 {
+		c := &n.channels[o.ch]
+		c.ring[n.now%int64(c.lat)] = flitEv{f: f, vc: vc.outVC, valid: true}
+		o.credits--
+	} else {
+		// Terminal ejection: the flit leaves through the egress pipeline
+		// and the host link.
+		if n.now >= n.measStart && n.now < n.measEnd {
+			n.ejectedFlits++
+		}
+		if f.last {
+			n.completePacket(f.pkt)
+		}
+	}
+	if f.last {
+		o.vcOwner[vc.outVC] = -1
+		vc.state = vcIdle
+		vc.outPort, vc.outVC = -1, -1
+	}
+}
+
+// completePacket records the packet's latency (including the egress
+// pipeline and host link it still has to traverse) and frees its table
+// entry.
+func (n *Network) completePacket(pkt int32) {
+	pi := &n.pkts[pkt]
+	if pi.measured {
+		lat := float64(n.now + int64(n.cfg.PipeDelay+n.cfg.TermDelay) - pi.born)
+		n.latencySum += lat
+		n.latencies = append(n.latencies, lat)
+		n.completed++
+	}
+	n.freePkts = append(n.freePkts, pkt)
+}
+
+// inject generates new packets and pushes source flits into the terminal
+// channels, one flit per terminal per cycle, credit permitting.
+func (n *Network) inject(inj Injector) {
+	for t := 0; t < n.T; t++ {
+		// Generate at most one new packet. Packets born in the
+		// measurement window count as measured immediately — source-queue
+		// time is part of their latency, and a saturated network whose
+		// backlog never injects must not report a clean drain.
+		if len(n.srcQ[t])-int(n.srcQHead[t]) < maxPendingPerTerm {
+			if dst, flits, ok := inj.Generate(t, n.now, n.rng); ok {
+				measured := n.now >= n.measStart && n.now < n.measEnd
+				if measured {
+					n.measuredBorn++
+				}
+				n.srcQ[t] = append(n.srcQ[t], pendingPkt{
+					dst: int32(dst), size: int32(flits), born: n.now, measured: measured,
+				})
+			}
+		}
+		// Inject one flit of the front packet.
+		head := n.srcQHead[t]
+		if int(head) >= len(n.srcQ[t]) || n.srcCredit[t] <= 0 {
+			continue
+		}
+		pp := &n.srcQ[t][head]
+		sent := n.srcSent[t]
+		if sent == 0 {
+			n.curPkt[t] = n.allocPacket(t, pp)
+		}
+		pkt := n.curPkt[t]
+		c := &n.channels[n.termChIn[t]]
+		last := sent+1 == pp.size
+		c.ring[n.now%int64(c.lat)] = flitEv{
+			f:     flit{pkt: pkt, last: last},
+			vc:    int32(int(pkt) % n.V),
+			valid: true,
+		}
+		n.srcCredit[t]--
+		n.srcSent[t]++
+		if last {
+			n.srcSent[t] = 0
+			n.srcQHead[t]++
+			if int(n.srcQHead[t]) == len(n.srcQ[t]) {
+				n.srcQ[t] = n.srcQ[t][:0]
+				n.srcQHead[t] = 0
+			}
+		}
+	}
+}
+
+// allocPacket creates a packet-table entry for the packet about to be
+// injected by terminal t.
+func (n *Network) allocPacket(t int, pp *pendingPkt) int32 {
+	var pkt int32
+	if l := len(n.freePkts); l > 0 {
+		pkt = n.freePkts[l-1]
+		n.freePkts = n.freePkts[:l-1]
+	} else {
+		n.pkts = append(n.pkts, packetInfo{})
+		pkt = int32(len(n.pkts) - 1)
+	}
+	n.pkts[pkt] = packetInfo{
+		src: int32(t), dst: pp.dst, size: pp.size,
+		born: pp.born, measured: pp.measured,
+	}
+	return pkt
+}

@@ -1,0 +1,175 @@
+// Package sim is a cycle-level network simulator for switch fabrics built
+// from sub-switch chiplets, standing in for the Booksim2 simulator the
+// paper uses in Section VI. It models the four-stage router
+// microarchitecture of Fig 20 — route computation (RC), virtual-channel
+// allocation (VA), switch allocation (SA) and switch traversal (ST) — for
+// input-queued routers with credit-based flow control, per-input-port
+// shared buffers, configurable per-router route-computation delay (the
+// lever behind the paper's proprietary-routing optimization) and
+// configurable channel latencies (the lever behind on-wafer vs
+// rack-scale link comparisons).
+//
+// The simulator is synchronous: every cycle delivers channel arrivals,
+// advances router pipelines, performs separable round-robin VC and switch
+// allocation, and injects terminal traffic. All state lives in flat
+// arrays; the steady-state simulation allocates nothing.
+package sim
+
+import "fmt"
+
+// Config controls the router microarchitecture and measurement windows.
+type Config struct {
+	// NumVCs is the number of virtual channels per input port.
+	NumVCs int
+	// BufPerPort is the shared input buffer per port, in flits, split on
+	// demand across its VCs (the paper's shared buffer policy).
+	BufPerPort int
+	// PacketFlits is the packet size for synthetic traffic.
+	PacketFlits int
+	// RCIngress is the route-computation delay in cycles for packets
+	// entering from a terminal (ingress sub-switches perform the full
+	// IP-table lookup). Zero means 1.
+	RCIngress int
+	// RCOther is the route-computation delay for packets arriving from
+	// other sub-switches. The proprietary-routing optimization of Section
+	// VI tags packets with their destination port at the ingress, so
+	// non-ingress sub-switches skip the IP lookup and use a lower delay.
+	// Zero means 1.
+	RCOther int
+	// PipeDelay is the additional pipeline depth (VA/SA/ST and internal
+	// traversal) added to every hop through a router, modeled as extra
+	// latency on the router's output channels.
+	PipeDelay int
+	// TermDelay is the host-to-ingress (and egress-to-host) channel
+	// latency in cycles (the paper's "I/O delay").
+	TermDelay int
+
+	WarmupCycles  int
+	MeasureCycles int
+	// DrainCycles bounds the extra cycles waited for measured packets to
+	// finish; running out marks the run saturated.
+	DrainCycles int
+
+	Seed int64
+}
+
+func (c Config) validate() error {
+	if c.NumVCs < 1 {
+		return fmt.Errorf("sim: NumVCs = %d", c.NumVCs)
+	}
+	if c.BufPerPort < c.PacketFlits || c.BufPerPort < 1 {
+		return fmt.Errorf("sim: BufPerPort = %d must hold at least one packet (%d flits)", c.BufPerPort, c.PacketFlits)
+	}
+	if c.PacketFlits < 1 {
+		return fmt.Errorf("sim: PacketFlits = %d", c.PacketFlits)
+	}
+	if c.PipeDelay < 0 || c.TermDelay < 0 {
+		return fmt.Errorf("sim: negative delays")
+	}
+	if c.WarmupCycles < 0 || c.MeasureCycles < 1 {
+		return fmt.Errorf("sim: bad measurement window")
+	}
+	return nil
+}
+
+func atLeast1(d int) int32 {
+	if d < 1 {
+		return 1
+	}
+	return int32(d)
+}
+
+// VC pipeline states.
+const (
+	vcIdle uint8 = iota
+	vcRouting
+	vcVCAlloc
+	vcActive
+)
+
+// flit is the unit of flow control; packet metadata lives in the packet
+// table.
+type flit struct {
+	pkt  int32
+	last bool
+}
+
+// vcState is the per-input-VC pipeline state.
+type vcState struct {
+	q       []flit // FIFO: q[head:] are buffered flits
+	head    int32
+	state   uint8
+	rcLeft  int32
+	outPort int32
+	outVC   int32
+}
+
+func (v *vcState) empty() bool { return v.head == int32(len(v.q)) }
+func (v *vcState) front() flit { return v.q[v.head] }
+func (v *vcState) push(f flit) { v.q = append(v.q, f) }
+func (v *vcState) pop() flit {
+	f := v.q[v.head]
+	v.head++
+	if v.empty() {
+		v.q = v.q[:0]
+		v.head = 0
+	}
+	return f
+}
+
+// outState is the per-output-port state: downstream shared-buffer
+// credits, output-VC ownership and arbitration pointers.
+type outState struct {
+	credits int32
+	vcOwner []int32 // per output VC: owning input-VC global index, or -1
+	rrVA    int32
+	ch      int32 // channel index; -1 means terminal sink
+}
+
+// flitEv is a flit in flight on a channel.
+type flitEv struct {
+	f     flit
+	vc    int32
+	valid bool
+}
+
+// channel is a fixed-latency link: a flit ring toward the destination
+// input port and a credit ring back toward the source output port.
+type channel struct {
+	lat                int32
+	srcRouter, srcPort int32 // -1,-1 when fed by a terminal source
+	srcTerm            int32 // terminal index when terminal-fed, else -1
+	dstRouter, dstPort int32
+	ring               []flitEv
+	credRing           []int32
+}
+
+// packetInfo records one in-flight packet.
+type packetInfo struct {
+	src, dst int32
+	size     int32
+	born     int64
+	measured bool
+}
+
+// Stats is the outcome of one simulation run.
+type Stats struct {
+	// Offered is the offered load in flits/terminal/cycle.
+	Offered float64
+	// Accepted is the measured throughput in flits/terminal/cycle.
+	Accepted float64
+	// AvgLatency is the mean packet latency (birth to tail ejection) in
+	// cycles over packets born in the measurement window.
+	AvgLatency float64
+	// P50Latency and P99Latency are latency percentiles over the same
+	// packets (tail behaviour matters for switch buffering decisions).
+	P50Latency float64
+	P99Latency float64
+	// Completed is the number of measured packets that finished.
+	Completed int
+	// Drained reports whether all measured packets finished within the
+	// drain budget; false indicates the network is saturated.
+	Drained bool
+	// Cycles is the total simulated cycle count.
+	Cycles int64
+}

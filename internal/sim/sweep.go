@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"fmt"
+
+	"waferswitch/internal/traffic"
+)
+
+// Builder constructs a fresh network for one run (a Network is
+// single-use: its state is consumed by Run).
+type Builder func() (*Network, error)
+
+// InjectorFactory builds an injector for a given offered load in
+// flits/terminal/cycle.
+type InjectorFactory func(load float64) (Injector, error)
+
+// SyntheticInjector returns an InjectorFactory for a synthetic pattern at
+// the given packet size.
+func SyntheticInjector(p traffic.Pattern, packetFlits int) InjectorFactory {
+	return func(load float64) (Injector, error) {
+		if load <= 0 || load > 1 {
+			return nil, fmt.Errorf("sim: load %v out of (0,1]", load)
+		}
+		return RateInjector{Load: load, Pattern: p, PacketFlits: packetFlits}, nil
+	}
+}
+
+// TraceInjectorFactory returns an InjectorFactory replaying a trace.
+func TraceInjectorFactory(tr *traffic.Trace) InjectorFactory {
+	return func(load float64) (Injector, error) {
+		return NewTraceInjector(tr, load)
+	}
+}
+
+// LatencyVsLoad runs the network at each offered load and returns the
+// stats per point — the raw data of the paper's load-latency figures
+// (Figs 22-24).
+func LatencyVsLoad(build Builder, injf InjectorFactory, loads []float64) ([]Stats, error) {
+	out := make([]Stats, 0, len(loads))
+	for _, load := range loads {
+		n, err := build()
+		if err != nil {
+			return nil, err
+		}
+		inj, err := injf(load)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n.Run(inj, load))
+	}
+	return out, nil
+}
+
+// SaturationThroughput extracts the saturation throughput from a load
+// sweep: the highest accepted throughput observed (accepted throughput
+// plateaus at saturation as offered load keeps rising).
+func SaturationThroughput(stats []Stats) float64 {
+	max := 0.0
+	for _, s := range stats {
+		if s.Accepted > max {
+			max = s.Accepted
+		}
+	}
+	return max
+}
+
+// ZeroLoadLatency runs the network at a near-zero load and returns the
+// average packet latency.
+func ZeroLoadLatency(build Builder, injf InjectorFactory) (float64, error) {
+	n, err := build()
+	if err != nil {
+		return 0, err
+	}
+	inj, err := injf(0.01)
+	if err != nil {
+		return 0, err
+	}
+	st := n.Run(inj, 0.01)
+	if st.Completed == 0 {
+		return 0, fmt.Errorf("sim: no packets completed at zero load")
+	}
+	return st.AvgLatency, nil
+}

@@ -1,0 +1,152 @@
+// Package ssc models the sub-switch chiplets (SSCs) a waferscale network
+// switch is assembled from. The baseline SSC is a Tomahawk-5-like chip
+// (Table II of the paper): 51.2 Tbps of switching bandwidth, 800 mm^2,
+// 500 W total of which 400 W is non-I/O power. Derived chiplets are
+// produced by deradixing (Section V-C: fewer ports on the same die) and
+// by scaling down for heterogeneous leaves (Section V-B: TH-3/TH-4-class
+// dies at 5 nm).
+package ssc
+
+import (
+	"fmt"
+	"math"
+
+	"waferswitch/internal/scaling"
+)
+
+// Reference (TH-5-like) chiplet parameters from Table II.
+const (
+	// RefRadix is the port count of the reference SSC at RefPortGbps.
+	RefRadix = 256
+	// RefPortGbps is the reference line rate in Gbps.
+	RefPortGbps = 200
+	// RefAreaMM2 is the reference die area in mm^2.
+	RefAreaMM2 = 800
+	// RefNonIOPowerW is the reference switching-core (non-I/O) power in W.
+	RefNonIOPowerW = 400
+)
+
+// RefTotalGbps is the full-duplex switching bandwidth of the reference SSC.
+const RefTotalGbps = RefRadix * RefPortGbps
+
+// Chiplet describes one sub-switch chiplet placed on the wafer.
+type Chiplet struct {
+	// Name identifies the chiplet class (e.g. "TH5-256x200G").
+	Name string
+	// Radix is the number of bidirectional ports.
+	Radix int
+	// PortGbps is the line rate of each port in Gbps.
+	PortGbps float64
+	// AreaMM2 is the die area in mm^2.
+	AreaMM2 float64
+	// Deradixed marks chiplets whose radix was reduced below what the die
+	// area supports, freeing inter-chiplet I/O for feedthrough channels.
+	Deradixed bool
+}
+
+// TotalGbps is the chiplet's aggregate switching bandwidth.
+func (c Chiplet) TotalGbps() float64 { return float64(c.Radix) * c.PortGbps }
+
+// SideMM is the edge length of the (square) die in mm.
+func (c Chiplet) SideMM() float64 { return math.Sqrt(c.AreaMM2) }
+
+// NonIOPowerW is the switching-core power of the chiplet, following the
+// near-quadratic scaling of power with switching bandwidth observed in
+// Fig 15 (and predicted for crossbar-based switches by Ahn et al.):
+// P = RefNonIOPowerW * (TotalGbps/RefTotalGbps)^2.
+//
+// A deradixed chiplet keeps its die area but halves (or quarters) its
+// port count; its crossbar datapath shrinks with the port count, so its
+// power follows the same bandwidth-quadratic law.
+func (c Chiplet) NonIOPowerW() float64 {
+	r := c.TotalGbps() / RefTotalGbps
+	return RefNonIOPowerW * r * r
+}
+
+// String implements fmt.Stringer.
+func (c Chiplet) String() string {
+	return fmt.Sprintf("%s (radix %d x %.0f Gbps, %.0f mm^2, %.1f W core)",
+		c.Name, c.Radix, c.PortGbps, c.AreaMM2, c.NonIOPowerW())
+}
+
+// TH5 returns the reference Tomahawk-5-like SSC in one of its Table II
+// configurations. Valid port rates are 200, 400 and 800 Gbps; the total
+// bandwidth (51.2 Tbps), area and power are the same for all three.
+func TH5(portGbps float64) (Chiplet, error) {
+	switch portGbps {
+	case 200, 400, 800:
+	default:
+		return Chiplet{}, fmt.Errorf("ssc: TH-5 has no %v Gbps configuration (valid: 200, 400, 800)", portGbps)
+	}
+	radix := int(RefTotalGbps / portGbps)
+	return Chiplet{
+		Name:     fmt.Sprintf("TH5-%dx%.0fG", radix, portGbps),
+		Radix:    radix,
+		PortGbps: portGbps,
+		AreaMM2:  RefAreaMM2,
+	}, nil
+}
+
+// MustTH5 is TH5 for the known-valid configurations used throughout the
+// experiment harness; it panics on an invalid rate.
+func MustTH5(portGbps float64) Chiplet {
+	c, err := TH5(portGbps)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Deradix returns a chiplet with its radix divided by factor while
+// keeping the die area unchanged (Section V-C). The freed inter-chiplet
+// I/Os become available as feedthrough channels, which is accounted for
+// by the mapping feasibility model (the chiplet terminates less bandwidth
+// on the same shoreline). Factor must be a positive power of two no
+// larger than the radix.
+func (c Chiplet) Deradix(factor int) (Chiplet, error) {
+	if factor < 1 || factor&(factor-1) != 0 {
+		return Chiplet{}, fmt.Errorf("ssc: deradix factor %d is not a positive power of two", factor)
+	}
+	if c.Radix%factor != 0 || c.Radix/factor < 2 {
+		return Chiplet{}, fmt.Errorf("ssc: cannot deradix radix-%d chiplet by %d", c.Radix, factor)
+	}
+	if factor == 1 {
+		return c, nil
+	}
+	d := c
+	d.Radix = c.Radix / factor
+	d.Name = fmt.Sprintf("%s/dr%d", c.Name, factor)
+	d.Deradixed = true
+	return d, nil
+}
+
+// ScaledLeaf returns a leaf chiplet with the given radix at the given
+// line rate, with die area scaled linearly with switching bandwidth from
+// the reference die (a TH-3-class 12.8 Tbps chip ported to 5 nm occupies
+// roughly a quarter of a TH-5: Section V-B uses such dies as leaves).
+func ScaledLeaf(radix int, portGbps float64) (Chiplet, error) {
+	if radix < 2 {
+		return Chiplet{}, fmt.Errorf("ssc: leaf radix %d too small", radix)
+	}
+	if portGbps <= 0 {
+		return Chiplet{}, fmt.Errorf("ssc: non-positive port rate %v", portGbps)
+	}
+	total := float64(radix) * portGbps
+	if total > RefTotalGbps {
+		return Chiplet{}, fmt.Errorf("ssc: leaf bandwidth %v Gbps exceeds reference die bandwidth %v Gbps", total, float64(RefTotalGbps))
+	}
+	return Chiplet{
+		Name:     fmt.Sprintf("leaf-%dx%.0fG", radix, portGbps),
+		Radix:    radix,
+		PortGbps: portGbps,
+		AreaMM2:  RefAreaMM2 * total / RefTotalGbps,
+	}, nil
+}
+
+// FittedPowerModel returns the power-law fit of the Tomahawk series from
+// the Fig 15 dataset, which validates the quadratic model used by
+// NonIOPowerW. It is exposed here so the experiment harness can print
+// model-vs-data.
+func FittedPowerModel() (scaling.PowerFit, error) {
+	return scaling.FitSeries("Tomahawk", scaling.CommoditySwitches)
+}

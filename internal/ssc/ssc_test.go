@@ -1,0 +1,164 @@
+package ssc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTH5Configurations(t *testing.T) {
+	tests := []struct {
+		portGbps float64
+		radix    int
+	}{
+		{200, 256},
+		{400, 128},
+		{800, 64},
+	}
+	for _, tc := range tests {
+		c, err := TH5(tc.portGbps)
+		if err != nil {
+			t.Fatalf("TH5(%v): %v", tc.portGbps, err)
+		}
+		if c.Radix != tc.radix {
+			t.Errorf("TH5(%v) radix = %d, want %d", tc.portGbps, c.Radix, tc.radix)
+		}
+		if c.TotalGbps() != 51200 {
+			t.Errorf("TH5(%v) total = %v, want 51200", tc.portGbps, c.TotalGbps())
+		}
+		if got := c.NonIOPowerW(); math.Abs(got-400) > 1e-9 {
+			t.Errorf("TH5(%v) core power = %v, want 400", tc.portGbps, got)
+		}
+		if c.AreaMM2 != 800 {
+			t.Errorf("TH5(%v) area = %v, want 800", tc.portGbps, c.AreaMM2)
+		}
+	}
+}
+
+func TestTH5InvalidRate(t *testing.T) {
+	if _, err := TH5(100); err == nil {
+		t.Error("TH5(100) did not fail")
+	}
+}
+
+func TestMustTH5Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustTH5(123) did not panic")
+		}
+	}()
+	MustTH5(123)
+}
+
+func TestSideMM(t *testing.T) {
+	c := MustTH5(200)
+	if got := c.SideMM(); math.Abs(got-math.Sqrt(800)) > 1e-12 {
+		t.Errorf("SideMM = %v, want sqrt(800)", got)
+	}
+}
+
+func TestDeradixHalvesRadixKeepsArea(t *testing.T) {
+	c := MustTH5(200)
+	d, err := c.Deradix(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Radix != 128 {
+		t.Errorf("deradixed radix = %d, want 128", d.Radix)
+	}
+	if d.AreaMM2 != c.AreaMM2 {
+		t.Errorf("deradixed area = %v, want unchanged %v", d.AreaMM2, c.AreaMM2)
+	}
+	if !d.Deradixed {
+		t.Error("Deradixed flag not set")
+	}
+	// Power follows the quadratic law: half the bandwidth, quarter power.
+	if got := d.NonIOPowerW(); math.Abs(got-100) > 1e-9 {
+		t.Errorf("deradixed power = %v, want 100", got)
+	}
+}
+
+func TestDeradixIdentity(t *testing.T) {
+	c := MustTH5(200)
+	d, err := c.Deradix(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != c {
+		t.Errorf("Deradix(1) = %+v, want unchanged", d)
+	}
+}
+
+func TestDeradixInvalid(t *testing.T) {
+	c := MustTH5(200)
+	for _, f := range []int{0, -2, 3, 6, 256, 1024} {
+		if _, err := c.Deradix(f); err == nil {
+			t.Errorf("Deradix(%d) did not fail", f)
+		}
+	}
+}
+
+func TestScaledLeafTH3Class(t *testing.T) {
+	// The heterogeneous design uses TH-3-class (12.8 Tbps) leaves:
+	// radix 64 at 200 Gbps, quarter area, 1/16 power.
+	leaf, err := ScaledLeaf(64, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := leaf.AreaMM2; math.Abs(got-200) > 1e-9 {
+		t.Errorf("TH-3-class leaf area = %v, want 200", got)
+	}
+	if got := leaf.NonIOPowerW(); math.Abs(got-25) > 1e-9 {
+		t.Errorf("TH-3-class leaf power = %v, want 25", got)
+	}
+}
+
+func TestScaledLeafRejectsOversize(t *testing.T) {
+	if _, err := ScaledLeaf(512, 200); err == nil {
+		t.Error("ScaledLeaf beyond reference bandwidth did not fail")
+	}
+	if _, err := ScaledLeaf(1, 200); err == nil {
+		t.Error("ScaledLeaf(1, ...) did not fail")
+	}
+	if _, err := ScaledLeaf(64, -1); err == nil {
+		t.Error("ScaledLeaf with negative rate did not fail")
+	}
+}
+
+// Property: deradixing by any valid factor never increases power or
+// changes area, and power drops quadratically with the factor.
+func TestDeradixPowerProperty(t *testing.T) {
+	c := MustTH5(200)
+	f := func(e uint8) bool {
+		factor := 1 << (e % 7) // 1..64
+		d, err := c.Deradix(factor)
+		if err != nil {
+			return false
+		}
+		wantPower := c.NonIOPowerW() / float64(factor*factor)
+		return d.AreaMM2 == c.AreaMM2 && math.Abs(d.NonIOPowerW()-wantPower) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFittedPowerModel(t *testing.T) {
+	fit, err := FittedPowerModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The empirical fit should be loosely consistent with the quadratic
+	// model at the reference point (the paper's Fig 15 claim).
+	ref := fit.Eval(RefRadix)
+	if ref < RefNonIOPowerW*0.4 || ref > RefNonIOPowerW*2.5 {
+		t.Errorf("fitted power at radix 256 = %v, want near %v", ref, RefNonIOPowerW)
+	}
+}
+
+func TestChipletString(t *testing.T) {
+	s := MustTH5(200).String()
+	if s == "" {
+		t.Error("String() returned empty string")
+	}
+}

@@ -1,0 +1,126 @@
+// Package sysarch models the system-level architecture of a waferscale
+// network switch (Section VIII of the paper): power delivery (PSUs,
+// DC-DC converters, voltage regulator modules), liquid cooling (passive
+// cold-plate loops), and the front-panel / rack-unit budget that fits an
+// 8192-port switch into 20 RU.
+package sysarch
+
+import (
+	"fmt"
+	"math"
+)
+
+// Power delivery component ratings (Section VIII-A).
+const (
+	// PSUPowerW is one high-density server power supply (4 kW).
+	PSUPowerW = 4000
+	// NonASICOverheadW is the power budget for fans, pumps and management
+	// (5 kW in the paper's 50 kW provisioning).
+	NonASICOverheadW = 5000
+	// DCDCPowerW is one 48V-to-12V converter brick (1 kW+).
+	DCDCPowerW = 1000
+	// VRMCurrentA is one voltage regulator module's output (130 A).
+	VRMCurrentA = 130
+	// CoreVoltageV is the SSC supply the VRMs deliver into.
+	CoreVoltageV = 0.9
+	// VRMRedundancy is the provisioning margin on VRM count (10%).
+	VRMRedundancy = 1.10
+)
+
+// Cooling and front-panel constants (Section VIII-A).
+const (
+	// ChipletsPerPCL is the chiplet coverage of one passive cold-plate
+	// loop copper spreader (2x2).
+	ChipletsPerPCL = 4
+	// PCLsPerSupplyChannel is how many consecutive PCLs share one supply
+	// channel.
+	PCLsPerSupplyChannel = 3
+	// AdaptersPerRU is the number of CS optical adapters per rack unit of
+	// front panel (108).
+	AdaptersPerRU = 108
+	// AdapterGbps is the bandwidth one front-panel optical adapter
+	// carries; higher-count port configurations reach the panel through
+	// splitter cables.
+	AdapterGbps = 800
+	// ManagementRU is the space for the management server.
+	ManagementRU = 1
+)
+
+// Enclosure summarizes the physical realization of a waferscale switch.
+type Enclosure struct {
+	Ports         int
+	PortGbps      float64
+	TotalPowerW   float64
+	SubstrateMM   float64
+	ChipletArray  int // array dimension (chiplets + I/O chiplets per side)
+	PSUs          int
+	DCDCs         int
+	VRMs          int
+	PCLs          int
+	SupplyChans   int
+	Adapters      int
+	FrontPanelRU  int
+	TotalRU       int
+	TotalGbps     float64
+	PowerPerPortW float64
+	// DensityGbpsPerRU is the capacity density the paper compares in
+	// Table III (Tbps/RU in the paper; Gbps/RU here).
+	DensityGbpsPerRU float64
+}
+
+// Plan sizes the enclosure for a switch with the given port count, line
+// rate and total power on the given substrate.
+func Plan(ports int, portGbps, totalPowerW, substrateMM float64, gridCells int) (*Enclosure, error) {
+	if ports <= 0 || portGbps <= 0 || totalPowerW <= 0 {
+		return nil, fmt.Errorf("sysarch: invalid switch spec (%d ports, %v Gbps, %v W)", ports, portGbps, totalPowerW)
+	}
+	if gridCells <= 0 {
+		return nil, fmt.Errorf("sysarch: invalid chiplet count %d", gridCells)
+	}
+	e := &Enclosure{
+		Ports:       ports,
+		PortGbps:    portGbps,
+		TotalPowerW: totalPowerW,
+		SubstrateMM: substrateMM,
+		TotalGbps:   float64(ports) * portGbps,
+	}
+	provision := totalPowerW + NonASICOverheadW
+	// N+N redundancy: two full banks of PSUs.
+	e.PSUs = 2 * int(math.Ceil(provision/PSUPowerW))
+	e.DCDCs = int(math.Ceil(totalPowerW / DCDCPowerW))
+	e.VRMs = int(math.Ceil(totalPowerW / CoreVoltageV / VRMCurrentA * VRMRedundancy))
+	e.ChipletArray = int(math.Ceil(math.Sqrt(float64(gridCells))))
+	e.PCLs = (gridCells + ChipletsPerPCL - 1) / ChipletsPerPCL
+	e.SupplyChans = (e.PCLs + PCLsPerSupplyChannel - 1) / PCLsPerSupplyChannel
+	e.Adapters = int(math.Ceil(e.TotalGbps / AdapterGbps))
+	e.FrontPanelRU = (e.Adapters + AdaptersPerRU - 1) / AdaptersPerRU
+	e.TotalRU = e.FrontPanelRU + ManagementRU
+	e.PowerPerPortW = totalPowerW / float64(ports)
+	e.DensityGbpsPerRU = e.TotalGbps / float64(e.TotalRU)
+	return e, nil
+}
+
+// ModularSwitch is a commercial modular/chassis switch datapoint for the
+// Table III comparison.
+type ModularSwitch struct {
+	Name        string
+	SpaceRU     float64
+	TotalGbps   float64
+	Ports200G   int
+	TotalPowerW float64
+}
+
+// PowerPerPortW returns the per-port power of the modular switch at its
+// 200G configuration.
+func (m ModularSwitch) PowerPerPortW() float64 { return m.TotalPowerW / float64(m.Ports200G) }
+
+// DensityGbpsPerRU returns the switch's capacity density.
+func (m ModularSwitch) DensityGbpsPerRU() float64 { return m.TotalGbps / m.SpaceRU }
+
+// ModularSwitches embeds the commercial comparison points of Table III:
+// Cisco Nexus 9800 [17], Juniper PTX10008 [12], Huawei NetEngine 8000 [7].
+var ModularSwitches = []ModularSwitch{
+	{Name: "Cisco Nexus 9800", SpaceRU: 16, TotalGbps: 115200, Ports200G: 576, TotalPowerW: 11200},
+	{Name: "Juniper PTX10008", SpaceRU: 21, TotalGbps: 230400, Ports200G: 1152, TotalPowerW: 25900},
+	{Name: "Huawei NE 8000", SpaceRU: 15.8, TotalGbps: 115200, Ports200G: 576, TotalPowerW: 11000},
+}

@@ -1,0 +1,131 @@
+package sysarch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Section VIII-A anchors: the 300 mm, 8192x200G, ~45 kW (heterogeneous)
+// switch fits in 20 RU with ~25 PSUs, ~50 DC-DC converters, ~420 VRMs,
+// 36 cold-plate loops and 12 supply channels.
+func TestPlan300mmAnchors(t *testing.T) {
+	e, err := Plan(8192, 200, 45000, 300, 144)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.TotalRU != 20 {
+		t.Errorf("TotalRU = %d, want 20", e.TotalRU)
+	}
+	if e.FrontPanelRU != 19 {
+		t.Errorf("FrontPanelRU = %d, want 19", e.FrontPanelRU)
+	}
+	if e.Adapters != 2048 {
+		t.Errorf("Adapters = %d, want 2048", e.Adapters)
+	}
+	if e.PSUs < 24 || e.PSUs > 26 {
+		t.Errorf("PSUs = %d, want ~25", e.PSUs)
+	}
+	if e.DCDCs < 40 || e.DCDCs > 55 {
+		t.Errorf("DCDCs = %d, want ~45-50", e.DCDCs)
+	}
+	if e.VRMs < 400 || e.VRMs > 440 {
+		t.Errorf("VRMs = %d, want ~420", e.VRMs)
+	}
+	if e.PCLs != 36 {
+		t.Errorf("PCLs = %d, want 36", e.PCLs)
+	}
+	if e.SupplyChans != 12 {
+		t.Errorf("SupplyChans = %d, want 12", e.SupplyChans)
+	}
+	if e.PowerPerPortW > 7 {
+		t.Errorf("power/port = %.1f W, want <= 7 (paper: 6.1)", e.PowerPerPortW)
+	}
+	// Capacity density: 1638.4 Tbps / 20 RU = 81.9 Tbps/RU.
+	if got := e.DensityGbpsPerRU / 1000; got < 75 || got > 90 {
+		t.Errorf("density = %.1f Tbps/RU, want ~81.9", got)
+	}
+}
+
+// The 200 mm switch (4096 ports, ~25 kW) fits in 11 RU.
+func TestPlan200mmAnchors(t *testing.T) {
+	e, err := Plan(4096, 200, 25000, 200, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.TotalRU != 11 {
+		t.Errorf("200mm TotalRU = %d, want 11", e.TotalRU)
+	}
+}
+
+func TestPlanHigherRateSamePanel(t *testing.T) {
+	// 2048x800G needs the same front panel as 8192x200G (same total
+	// bandwidth through 800G adapters with splitters).
+	a, err := Plan(8192, 200, 45000, 300, 144)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Plan(2048, 800, 45000, 300, 144)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Adapters != b.Adapters || a.TotalRU != b.TotalRU {
+		t.Errorf("panel differs across configurations: %d/%d RU vs %d/%d RU",
+			a.Adapters, a.TotalRU, b.Adapters, b.TotalRU)
+	}
+}
+
+func TestPlanInvalid(t *testing.T) {
+	if _, err := Plan(0, 200, 1000, 300, 4); err == nil {
+		t.Error("zero ports accepted")
+	}
+	if _, err := Plan(10, -1, 1000, 300, 4); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := Plan(10, 200, 0, 300, 4); err == nil {
+		t.Error("zero power accepted")
+	}
+	if _, err := Plan(10, 200, 1000, 300, 0); err == nil {
+		t.Error("zero grid accepted")
+	}
+}
+
+// Table III: waferscale switches beat every commercial modular switch on
+// power per port and capacity density.
+func TestWaferscaleBeatsModular(t *testing.T) {
+	ws, err := Plan(8192, 200, 50000, 300, 144)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ModularSwitches {
+		if ws.PowerPerPortW >= m.PowerPerPortW() {
+			t.Errorf("waferscale %.1f W/port not below %s %.1f", ws.PowerPerPortW, m.Name, m.PowerPerPortW())
+		}
+		if ws.DensityGbpsPerRU <= m.DensityGbpsPerRU() {
+			t.Errorf("waferscale %.0f Gbps/RU not above %s %.0f", ws.DensityGbpsPerRU, m.Name, m.DensityGbpsPerRU())
+		}
+	}
+}
+
+// Property: provisioned PSU power always covers the load with N+N
+// redundancy, and component counts scale monotonically with power.
+func TestPlanProperties(t *testing.T) {
+	f := func(rawPorts uint16, rawPower uint16) bool {
+		ports := int(rawPorts%8192) + 64
+		power := float64(rawPower%60000) + 1000
+		e, err := Plan(ports, 200, power, 300, 144)
+		if err != nil {
+			return false
+		}
+		if float64(e.PSUs)*PSUPowerW < 2*(power+NonASICOverheadW) {
+			return false
+		}
+		bigger, err := Plan(ports, 200, power+5000, 300, 144)
+		if err != nil {
+			return false
+		}
+		return bigger.PSUs >= e.PSUs && bigger.VRMs >= e.VRMs && bigger.DCDCs >= e.DCDCs
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

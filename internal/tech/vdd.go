@@ -1,0 +1,57 @@
+package tech
+
+import (
+	"fmt"
+	"math"
+)
+
+// Supply-voltage scaling model for internal links (Section V-A of the
+// paper). Link bandwidth and energy per bit relate to the supply voltage
+// Vdd and threshold voltage Vth as
+//
+//	E/bit ∝ Vdd^2
+//	B     ∝ (Vdd - Vth)^2 / Vdd
+//
+// so internal bandwidth density can be traded for energy efficiency by
+// raising Vdd (and link frequency). The nominal operating point is
+// calibrated so that Vdd0 = 3*Vth, placing the link in the regime where
+// energy per bit rises with bandwidth (below 3*Vth the model would
+// predict the opposite, which no practical link exhibits).
+const (
+	// Vdd0 is the nominal supply voltage of the baseline Si-IF link in V.
+	Vdd0 = 0.75
+	// Vth is the device threshold voltage in V.
+	Vth = 0.25
+)
+
+// bandwidthMetric evaluates the voltage-dependent part of the link
+// bandwidth relation, (Vdd-Vth)^2/Vdd.
+func bandwidthMetric(vdd float64) float64 {
+	d := vdd - Vth
+	return d * d / vdd
+}
+
+// VddForBandwidthScale returns the supply voltage required to scale link
+// bandwidth by factor relative to the nominal operating point. It solves
+// (Vdd-Vth)^2/Vdd = factor * (Vdd0-Vth)^2/Vdd0 in closed form (it is a
+// quadratic in Vdd) and returns the physical (larger) root.
+func VddForBandwidthScale(factor float64) float64 {
+	if factor <= 0 {
+		panic(fmt.Sprintf("tech: non-positive bandwidth scale factor %v", factor))
+	}
+	target := factor * bandwidthMetric(Vdd0)
+	// (Vdd - Vth)^2 = target*Vdd  =>  Vdd^2 - (2*Vth+target)*Vdd + Vth^2 = 0
+	b := 2*Vth + target
+	disc := b*b - 4*Vth*Vth
+	return (b + math.Sqrt(disc)) / 2
+}
+
+// EnergyScale returns the multiplicative change in energy per bit when
+// internal link bandwidth is scaled by factor via supply-voltage scaling:
+// (Vdd_new/Vdd0)^2. Doubling bandwidth costs ~2.2x energy per bit at the
+// calibrated operating point; quadrupling costs ~5.8x.
+func EnergyScale(factor float64) float64 {
+	v := VddForBandwidthScale(factor)
+	r := v / Vdd0
+	return r * r
+}

@@ -1,0 +1,91 @@
+package topo
+
+import (
+	"fmt"
+
+	"waferswitch/internal/ssc"
+)
+
+// Clos2 builds a 2-level folded Clos switch with totalPorts external
+// ports from leaf and spine sub-switch chiplets (Section IV of the
+// paper). Each leaf dedicates half its radix to external ports and half
+// to uplinks; spines dedicate their full radix to downlinks. Every
+// leaf-spine pair is connected by the same lane multiplicity, preserving
+// the non-blocking property. Leaf and spine line rates must match.
+//
+// The construction requires the port counts to divide evenly:
+//
+//	leaves = totalPorts / (leaf.Radix/2)
+//	spines = totalPorts / spine.Radix
+//	lanes per leaf-spine pair = (leaf.Radix/2) / spines  (>= 1)
+func Clos2(totalPorts int, leaf, spine ssc.Chiplet) (*Topology, error) {
+	if leaf.PortGbps != spine.PortGbps {
+		return nil, fmt.Errorf("topo: leaf rate %v != spine rate %v", leaf.PortGbps, spine.PortGbps)
+	}
+	if leaf.Radix%2 != 0 {
+		return nil, fmt.Errorf("topo: leaf radix %d is odd", leaf.Radix)
+	}
+	down := leaf.Radix / 2
+	if totalPorts <= spine.Radix {
+		return nil, fmt.Errorf("topo: %d ports fit on a single radix-%d sub-switch; no Clos needed", totalPorts, spine.Radix)
+	}
+	if totalPorts%down != 0 {
+		return nil, fmt.Errorf("topo: %d ports not divisible by %d per-leaf external ports", totalPorts, down)
+	}
+	nLeaf := totalPorts / down
+	if totalPorts%spine.Radix != 0 {
+		return nil, fmt.Errorf("topo: %d ports not divisible by spine radix %d", totalPorts, spine.Radix)
+	}
+	nSpine := totalPorts / spine.Radix
+	if nSpine < 1 {
+		return nil, fmt.Errorf("topo: %d ports needs no spine (single sub-switch suffices)", totalPorts)
+	}
+	if down%nSpine != 0 {
+		return nil, fmt.Errorf("topo: %d uplinks per leaf not divisible across %d spines", down, nSpine)
+	}
+	lanes := down / nSpine
+	if nLeaf < 2 {
+		return nil, fmt.Errorf("topo: Clos with %d leaves is degenerate", nLeaf)
+	}
+
+	t := &Topology{
+		Name:     fmt.Sprintf("clos-%d (%d leaves x %s, %d spines x %s)", totalPorts, nLeaf, leaf.Name, nSpine, spine.Name),
+		Kind:     "clos",
+		PortGbps: leaf.PortGbps,
+		Nodes:    make([]Node, 0, nLeaf+nSpine),
+		Links:    make([]Link, 0, nLeaf*nSpine),
+	}
+	for i := 0; i < nLeaf; i++ {
+		t.Nodes = append(t.Nodes, Node{ID: i, Role: RoleLeaf, Chiplet: leaf, ExternalPorts: down})
+	}
+	for j := 0; j < nSpine; j++ {
+		t.Nodes = append(t.Nodes, Node{ID: nLeaf + j, Role: RoleSpine, Chiplet: spine})
+	}
+	for i := 0; i < nLeaf; i++ {
+		for j := 0; j < nSpine; j++ {
+			t.Links = append(t.Links, Link{A: i, B: nLeaf + j, Lanes: lanes})
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// HomogeneousClos builds a Clos from identical TH-5-class chiplets of the
+// given radix and rate; it is the homogeneous design of Section IV.
+func HomogeneousClos(totalPorts int, chip ssc.Chiplet) (*Topology, error) {
+	return Clos2(totalPorts, chip, chip)
+}
+
+// HeterogeneousClos builds the heterogeneous design of Section V-B:
+// spines keep the full-radix chiplet while leaves are disaggregated onto
+// smaller (TH-3-class by default) dies whose power is quadratically
+// lower. leafRadix must divide the spine design evenly.
+func HeterogeneousClos(totalPorts int, spine ssc.Chiplet, leafRadix int) (*Topology, error) {
+	leaf, err := ssc.ScaledLeaf(leafRadix, spine.PortGbps)
+	if err != nil {
+		return nil, err
+	}
+	return Clos2(totalPorts, leaf, spine)
+}

@@ -1,0 +1,208 @@
+// Package traffic provides the workloads driving the cycle-level switch
+// simulations: the standard synthetic patterns used in Section VI of the
+// paper (uniform random, transpose, shuffle, tornado, ...) and synthetic
+// stand-ins for the NERSC DOE mini-app traces of Fig 24 (LULESH, MOCFE,
+// Multigrid, Nekbone), whose communication structure is generated from
+// each application's documented exchange pattern (see DESIGN.md,
+// Substitutions).
+package traffic
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+)
+
+// Pattern maps a source terminal to a destination terminal. Patterns may
+// be randomized per call (uniform, hotspot) or deterministic permutations
+// (transpose, shuffle, ...).
+type Pattern struct {
+	Name string
+	// Dest returns the destination terminal for a packet from src.
+	Dest func(src int, rng *rand.Rand) int
+	// N is the number of terminals the pattern was built for.
+	N int
+}
+
+// logN returns log2(n) and whether n is a power of two.
+func logN(n int) (int, bool) {
+	if n <= 0 || n&(n-1) != 0 {
+		return 0, false
+	}
+	return bits.TrailingZeros(uint(n)), true
+}
+
+// Uniform sends every packet to a uniformly random destination other than
+// the source.
+func Uniform(n int) Pattern {
+	return Pattern{
+		Name: "uniform",
+		N:    n,
+		Dest: func(src int, rng *rand.Rand) int {
+			d := rng.Intn(n - 1)
+			if d >= src {
+				d++
+			}
+			return d
+		},
+	}
+}
+
+// Transpose implements the matrix-transpose permutation: the bit pattern
+// of the source is rotated by half its width. n must be an even power of
+// two.
+func Transpose(n int) (Pattern, error) {
+	b, ok := logN(n)
+	if !ok || b%2 != 0 {
+		return Pattern{}, fmt.Errorf("traffic: transpose needs an even power-of-two size, got %d", n)
+	}
+	h := b / 2
+	mask := (1 << h) - 1
+	return Pattern{
+		Name: "transpose",
+		N:    n,
+		Dest: func(src int, _ *rand.Rand) int {
+			return (src&mask)<<h | (src >> h)
+		},
+	}, nil
+}
+
+// BitComplement sends node s to node ^s.
+func BitComplement(n int) (Pattern, error) {
+	b, ok := logN(n)
+	if !ok {
+		return Pattern{}, fmt.Errorf("traffic: bit-complement needs a power-of-two size, got %d", n)
+	}
+	mask := (1 << b) - 1
+	return Pattern{
+		Name: "bitcomp",
+		N:    n,
+		Dest: func(src int, _ *rand.Rand) int { return ^src & mask },
+	}, nil
+}
+
+// BitReverse sends node s to the node whose index is s's bits reversed.
+func BitReverse(n int) (Pattern, error) {
+	b, ok := logN(n)
+	if !ok {
+		return Pattern{}, fmt.Errorf("traffic: bit-reverse needs a power-of-two size, got %d", n)
+	}
+	return Pattern{
+		Name: "bitrev",
+		N:    n,
+		Dest: func(src int, _ *rand.Rand) int {
+			return int(bits.Reverse(uint(src)) >> (bits.UintSize - b))
+		},
+	}, nil
+}
+
+// Shuffle implements the perfect-shuffle permutation (rotate bits left by
+// one).
+func Shuffle(n int) (Pattern, error) {
+	b, ok := logN(n)
+	if !ok {
+		return Pattern{}, fmt.Errorf("traffic: shuffle needs a power-of-two size, got %d", n)
+	}
+	mask := (1 << b) - 1
+	return Pattern{
+		Name: "shuffle",
+		N:    n,
+		Dest: func(src int, _ *rand.Rand) int {
+			return (src<<1 | src>>(b-1)) & mask
+		},
+	}, nil
+}
+
+// Tornado sends node s to s + ceil(n/2) - 1 mod n, the classic
+// adversarial pattern for rings and meshes.
+func Tornado(n int) Pattern {
+	return Pattern{
+		Name: "tornado",
+		N:    n,
+		Dest: func(src int, _ *rand.Rand) int {
+			return (src + (n+1)/2 - 1) % n
+		},
+	}
+}
+
+// Neighbor sends node s to s+1 mod n.
+func Neighbor(n int) Pattern {
+	return Pattern{
+		Name: "neighbor",
+		N:    n,
+		Dest: func(src int, _ *rand.Rand) int { return (src + 1) % n },
+	}
+}
+
+// Hotspot sends the given fraction of traffic to a small set of hot
+// destinations and the rest uniformly.
+func Hotspot(n int, hot []int, fraction float64) (Pattern, error) {
+	if len(hot) == 0 {
+		return Pattern{}, fmt.Errorf("traffic: hotspot needs at least one hot destination")
+	}
+	if fraction < 0 || fraction > 1 {
+		return Pattern{}, fmt.Errorf("traffic: hotspot fraction %v out of [0,1]", fraction)
+	}
+	for _, h := range hot {
+		if h < 0 || h >= n {
+			return Pattern{}, fmt.Errorf("traffic: hot destination %d out of range", h)
+		}
+	}
+	uni := Uniform(n)
+	return Pattern{
+		Name: "hotspot",
+		N:    n,
+		Dest: func(src int, rng *rand.Rand) int {
+			if rng.Float64() < fraction {
+				return hot[rng.Intn(len(hot))]
+			}
+			return uni.Dest(src, rng)
+		},
+	}, nil
+}
+
+// Asymmetric concentrates traffic from every node onto the lower half of
+// the machine, the skewed pattern whose zero-load behaviour the paper
+// singles out in Fig 23.
+func Asymmetric(n int) Pattern {
+	half := n / 2
+	if half == 0 {
+		half = 1
+	}
+	return Pattern{
+		Name: "asymmetric",
+		N:    n,
+		Dest: func(src int, rng *rand.Rand) int {
+			d := rng.Intn(half)
+			if d == src {
+				d = (d + 1) % half
+				if d == src { // n == 1 corner
+					d = src
+				}
+			}
+			return d
+		},
+	}
+}
+
+// Synthetics returns the synthetic pattern set used for Fig 23 on n
+// terminals. n must be a power of two; transpose (which needs an even
+// power of two) is replaced by bit-reverse when n is an odd power.
+func Synthetics(n int) ([]Pattern, error) {
+	sh, err := Shuffle(n)
+	if err != nil {
+		return nil, err
+	}
+	bc, err := BitComplement(n)
+	if err != nil {
+		return nil, err
+	}
+	perm, err := Transpose(n)
+	if err != nil {
+		perm, err = BitReverse(n)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return []Pattern{Uniform(n), perm, sh, bc, Tornado(n), Asymmetric(n)}, nil
+}

@@ -1,0 +1,202 @@
+// Package usecase models the computing systems a waferscale network
+// switch enables (Section VIII-B of the paper): single-switch
+// datacenters (Table VII), massive singular-GPU clusters (Table VIII)
+// and multi-waferscale datacenter networks (Table IX), each compared
+// against its conventional-switch equivalent, plus the cost model behind
+// the paper's savings estimates.
+package usecase
+
+import (
+	"fmt"
+	"math"
+)
+
+// SystemSummary is one column of the paper's use-case comparison tables.
+type SystemSummary struct {
+	Name          string
+	Endpoints     int // servers, GPUs, or racks
+	Switches      int
+	Cables        int
+	WorstHops     int
+	SizeRU        int
+	PortGbps      float64
+	BisectionGbps float64
+}
+
+// Comparison pairs a waferscale system with its conventional equivalent.
+type Comparison struct {
+	Title        string
+	Waferscale   SystemSummary
+	Conventional SystemSummary
+}
+
+// closSwitches2 returns the switch-box count of a 2-level folded Clos
+// network with n endpoints built from radix-k boxes (3n/k).
+func closSwitches2(n, k int) int { return 3 * n / k }
+
+// closSwitches3 returns the switch-box count of a 3-level folded Clos
+// (fat tree) with n endpoints built from radix-k boxes: 2n/(k/2) edge +
+// 2n/k aggregation... in the standard folded form, 5n/k boxes.
+func closSwitches3(n, k int) int { return 5 * n / k }
+
+// SwitchBoxRU is the rack space of one conventional switch box (TH-5s
+// ship in 2U boxes per the paper).
+const SwitchBoxRU = 2
+
+// SingleSwitchDC builds the Table VII comparison: a datacenter whose
+// entire network is one waferscale switch vs an equivalent 2-level Clos
+// of TH-5 boxes. servers is the server count (8192 for a 300 mm switch,
+// 4096 for 200 mm); wsRU is the waferscale enclosure size.
+func SingleSwitchDC(servers int, portGbps float64, wsRU, thRadix int) (*Comparison, error) {
+	if servers <= 0 || servers%thRadix != 0 {
+		return nil, fmt.Errorf("usecase: %d servers not divisible by TH-5 radix %d", servers, thRadix)
+	}
+	boxes := closSwitches2(servers, thRadix)
+	bisection := float64(servers) / 2 * portGbps
+	return &Comparison{
+		Title: fmt.Sprintf("single-switch datacenter (%d servers)", servers),
+		Waferscale: SystemSummary{
+			Name:          "waferscale switch",
+			Endpoints:     servers,
+			Switches:      1,
+			Cables:        servers, // host links only
+			WorstHops:     1,
+			SizeRU:        wsRU,
+			PortGbps:      portGbps,
+			BisectionGbps: bisection,
+		},
+		Conventional: SystemSummary{
+			Name:          "TH-5 Clos network",
+			Endpoints:     servers,
+			Switches:      boxes,
+			Cables:        2 * servers, // host links + leaf-spine links
+			WorstHops:     3,
+			SizeRU:        boxes * SwitchBoxRU,
+			PortGbps:      portGbps,
+			BisectionGbps: bisection,
+		},
+	}, nil
+}
+
+// NVSwitchBaseline is the DGX GH200 NVswitch network of Table VIII.
+var NVSwitchBaseline = SystemSummary{
+	Name:          "NVswitch network (DGX GH200)",
+	Endpoints:     256,
+	Switches:      132,
+	Cables:        2304,
+	WorstHops:     3,
+	SizeRU:        195,
+	PortGbps:      900,
+	BisectionGbps: 115200,
+}
+
+// SingularGPU builds the Table VIII comparison: a GPU cluster whose
+// fabric is one waferscale switch in the 800 Gbps configuration vs the
+// DGX GH200 NVswitch network.
+func SingularGPU(gpus int, portGbps float64, wsRU int) *Comparison {
+	return &Comparison{
+		Title: fmt.Sprintf("singular GPU (%d GPUs)", gpus),
+		Waferscale: SystemSummary{
+			Name:          "waferscale switch",
+			Endpoints:     gpus,
+			Switches:      1,
+			Cables:        gpus,
+			WorstHops:     1,
+			SizeRU:        wsRU,
+			PortGbps:      portGbps,
+			BisectionGbps: float64(gpus) / 2 * portGbps,
+		},
+		Conventional: NVSwitchBaseline,
+	}
+}
+
+// SpineDCN builds the Table IX comparison: a hyperscale datacenter
+// network whose spine is built from waferscale switches (each
+// wsPorts x wsPortGbps) vs a conventional TH-5 Clos. Each rack's TOR
+// attaches with rackUplinkGbps of bandwidth.
+func SpineDCN(racks int, rackUplinkGbps, wsPortGbps float64, wsPorts, wsRU, thRadix int, thPortGbps float64) (*Comparison, error) {
+	if racks <= 0 {
+		return nil, fmt.Errorf("usecase: %d racks", racks)
+	}
+	// Waferscale spine: racks attach with rackUplinkGbps/wsPortGbps links
+	// each; the spine itself is a Clos of waferscale switches.
+	wsLinksPerRack := int(math.Ceil(rackUplinkGbps / wsPortGbps))
+	wsPortsNeeded := racks * wsLinksPerRack
+	wsSwitches := closSwitches2(wsPortsNeeded, wsPorts)
+	wsCables := 2 * wsPortsNeeded // rack-to-leaf plus leaf-to-spine tiers
+
+	// Conventional: TH-5 boxes in a 3-level Clos at thPortGbps per port.
+	thLinksPerRack := int(math.Ceil(rackUplinkGbps / thPortGbps))
+	thPortsNeeded := racks * thLinksPerRack
+	thSwitches := closSwitches3(thPortsNeeded, thRadix)
+	// Cables: one access cable per rack link, plus the fabric tier
+	// consolidated onto 800G links.
+	fabricCables := int(math.Ceil(float64(racks) * rackUplinkGbps / 800))
+	thCables := thPortsNeeded + fabricCables
+
+	bisection := float64(racks) * rackUplinkGbps / 2
+	return &Comparison{
+		Title: fmt.Sprintf("hyperscale DCN (%d racks)", racks),
+		Waferscale: SystemSummary{
+			Name:          "waferscale spine",
+			Endpoints:     racks,
+			Switches:      wsSwitches,
+			Cables:        wsCables,
+			WorstHops:     3,
+			SizeRU:        wsSwitches * wsRU,
+			PortGbps:      wsPortGbps,
+			BisectionGbps: bisection,
+		},
+		Conventional: SystemSummary{
+			Name:          "TH-5 Clos network",
+			Endpoints:     racks,
+			Switches:      thSwitches,
+			Cables:        thCables,
+			WorstHops:     5,
+			SizeRU:        thSwitches * SwitchBoxRU,
+			PortGbps:      thPortGbps,
+			BisectionGbps: bisection,
+		},
+	}, nil
+}
+
+// Cost model constants (Section VIII-B).
+const (
+	// TransceiverUSD is the cost of one 800G QSFP-DD module.
+	TransceiverUSD = 5000
+	// FiberUSDPerKM is the cost of optical fiber per km.
+	FiberUSDPerKM = 400
+	// AvgCableKM is the assumed average intra-datacenter cable run.
+	AvgCableKM = 0.05
+	// ColocationUSDPerRUMonth is the colocation cost per rack unit per
+	// month (midpoint of the cited $75-$300 range).
+	ColocationUSDPerRUMonth = 150
+)
+
+// Savings quantifies the cost advantage of the waferscale system in a
+// comparison.
+type Savings struct {
+	CableReduction float64 // fraction of cables removed
+	SpaceReduction float64 // fraction of switch rack space removed
+	// CapexUSD is the saved transceiver + fiber cost (two transceivers
+	// per cable).
+	CapexUSD float64
+	// ColocationUSDPerYear is the recurring space saving.
+	ColocationUSDPerYear float64
+}
+
+// EstimateSavings computes the cost deltas of a comparison.
+func EstimateSavings(c *Comparison) Savings {
+	dCables := c.Conventional.Cables - c.Waferscale.Cables
+	dRU := c.Conventional.SizeRU - c.Waferscale.SizeRU
+	var s Savings
+	if c.Conventional.Cables > 0 {
+		s.CableReduction = float64(dCables) / float64(c.Conventional.Cables)
+	}
+	if c.Conventional.SizeRU > 0 {
+		s.SpaceReduction = float64(dRU) / float64(c.Conventional.SizeRU)
+	}
+	s.CapexUSD = float64(dCables) * (2*TransceiverUSD + FiberUSDPerKM*AvgCableKM)
+	s.ColocationUSDPerYear = float64(dRU) * ColocationUSDPerRUMonth * 12
+	return s
+}

@@ -1,0 +1,95 @@
+package wafer
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxSitesPaperAnchors(t *testing.T) {
+	// Sites for 800 mm^2 TH-5-class chiplets (Section IV-B anchors):
+	// these bound the ideal Clos sizes 1024/4096/8192 at 100/200/300 mm.
+	tests := []struct {
+		side  float64
+		sites int
+	}{
+		{100, 12},
+		{200, 50},
+		{300, 112},
+	}
+	for _, tc := range tests {
+		s := Substrate{SideMM: tc.side}
+		if got := s.MaxSites(800); got != tc.sites {
+			t.Errorf("%vmm MaxSites(800) = %d, want %d", tc.side, got, tc.sites)
+		}
+	}
+}
+
+func TestMaxSitesDegenerate(t *testing.T) {
+	s := Substrate{SideMM: 100}
+	if got := s.MaxSites(0); got != 0 {
+		t.Errorf("MaxSites(0) = %d, want 0", got)
+	}
+	if got := s.MaxSites(-5); got != 0 {
+		t.Errorf("MaxSites(-5) = %d, want 0", got)
+	}
+	if got := s.MaxSites(20000); got != 0 {
+		t.Errorf("MaxSites(oversize) = %d, want 0", got)
+	}
+}
+
+func TestFitsArea(t *testing.T) {
+	s := Substrate{SideMM: 300}
+	if !s.FitsArea(90000) {
+		t.Error("exactly-full substrate should fit")
+	}
+	if s.FitsArea(90001) {
+		t.Error("overfull substrate should not fit")
+	}
+}
+
+func TestPowerDensity(t *testing.T) {
+	// Section V-B: 62 kW on a 300 mm substrate is 0.69 W/mm^2; the
+	// heterogeneous 43 kW is 0.48 W/mm^2.
+	s := Substrate{SideMM: 300}
+	if got := s.PowerDensityWPerMM2(62000); math.Abs(got-0.6889) > 0.001 {
+		t.Errorf("62kW density = %v, want ~0.689", got)
+	}
+	if got := s.PowerDensityWPerMM2(43000); math.Abs(got-0.4778) > 0.001 {
+		t.Errorf("43kW density = %v, want ~0.478", got)
+	}
+}
+
+func TestIOChiplets(t *testing.T) {
+	side := math.Sqrt(800)
+	// Optical I/O: 800 Gbps/mm x 4 layers x 28.28 mm = 90.5 Tbps per
+	// chiplet; a 2048x200G switch (409.6 Tbps) needs 5.
+	if got := IOChiplets(2048*200, side, 800, 4); got != 5 {
+		t.Errorf("optical IOChiplets = %d, want 5", got)
+	}
+	if got := IOChiplets(0, side, 800, 4); got != 0 {
+		t.Errorf("IOChiplets(0) = %d, want 0", got)
+	}
+	if got := IOChiplets(100, side, 0, 4); got != 0 {
+		t.Errorf("IOChiplets with zero density = %d, want 0", got)
+	}
+}
+
+// Property: MaxSites is monotone in substrate side and never overpacks.
+func TestMaxSitesProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		s1 := Substrate{SideMM: float64(a%200) + 50}
+		s2 := Substrate{SideMM: s1.SideMM + float64(b%100)}
+		n1, n2 := s1.MaxSites(800), s2.MaxSites(800)
+		return n2 >= n1 && float64(n1)*800 <= s1.AreaMM2()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := (Substrate{SideMM: 300}).String(); got != "300mm substrate" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,164 @@
+// Package yield models the manufacturing yield and silicon cost of a
+// waferscale network switch, quantifying two arguments the paper makes
+// qualitatively: chiplet-based WSI achieves high system yield by bonding
+// pre-tested known-good dies (KGD) onto the substrate (Section III-A,
+// >99.9% per-bond yield), and the approach rides the economies of scale
+// of the existing semiconductor supply chain (Section II, vs optical
+// switches).
+package yield
+
+import (
+	"fmt"
+	"math"
+)
+
+// Defect-density die yield follows the negative-binomial (Murphy/Seeds
+// family) model y = (1 + A*D0/alpha)^-alpha with die area A in cm^2.
+type DieYield struct {
+	// DefectsPerCM2 is the process defect density D0 (defects/cm^2); 0.1
+	// is typical for a mature 5 nm-class process.
+	DefectsPerCM2 float64
+	// Alpha is the defect clustering parameter (3 is the common choice).
+	Alpha float64
+}
+
+// DefaultDieYield is a mature-process operating point.
+var DefaultDieYield = DieYield{DefectsPerCM2: 0.1, Alpha: 3}
+
+// Yield returns the fraction of good dies of the given area.
+func (d DieYield) Yield(areaMM2 float64) float64 {
+	if areaMM2 <= 0 {
+		return 1
+	}
+	aCM2 := areaMM2 / 100
+	return math.Pow(1+aCM2*d.DefectsPerCM2/d.Alpha, -d.Alpha)
+}
+
+// Assembly models chiplet-to-substrate integration.
+type Assembly struct {
+	// BondYield is the probability one chiplet bonds successfully
+	// (>0.999 per the paper's Si-IF citation).
+	BondYield float64
+	// SubstrateYield is the probability the passive interconnect
+	// substrate itself is defect-free where it matters. Passive
+	// waferscale substrates with coarse (micron-class) features yield
+	// high; 0.95 is conservative.
+	SubstrateYield float64
+	// SpareChiplets is the number of redundant chiplet sites provisioned;
+	// a failed bond can be replaced by a spare (or reworked), so the
+	// system survives up to SpareChiplets bond failures.
+	SpareChiplets int
+}
+
+// DefaultAssembly matches the paper's cited numbers.
+var DefaultAssembly = Assembly{BondYield: 0.999, SubstrateYield: 0.95}
+
+// SystemYield returns the probability that a system with n required
+// chiplets assembles successfully: the substrate is good and at most
+// SpareChiplets of the n+SpareChiplets bonded chiplets fail. Chiplets
+// themselves are pre-tested (KGD), so die yield does not enter here —
+// that is the entire point of chiplet-based WSI over monolithic
+// waferscale (Section III-A).
+func (a Assembly) SystemYield(n int) float64 {
+	if n <= 0 {
+		return a.SubstrateYield
+	}
+	total := n + a.SpareChiplets
+	p := a.BondYield
+	// P(failures <= spares) over Binomial(total, 1-p).
+	var ok float64
+	q := 1 - p
+	for k := 0; k <= a.SpareChiplets; k++ {
+		ok += binomPMF(total, k, q)
+	}
+	return a.SubstrateYield * ok
+}
+
+func binomPMF(n, k int, p float64) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	// Log-space for numerical stability at large n.
+	lg := lnChoose(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log1p(-p)
+	return math.Exp(lg)
+}
+
+func lnChoose(n, k int) float64 {
+	lgN, _ := math.Lgamma(float64(n + 1))
+	lgK, _ := math.Lgamma(float64(k + 1))
+	lgNK, _ := math.Lgamma(float64(n - k + 1))
+	return lgN - lgK - lgNK
+}
+
+// MonolithicYield returns the yield of building the same silicon
+// monolithically: every mm^2 must be good at die-level defect density
+// (before any redundancy), illustrating why a reticle-busting monolithic
+// switch is impractical.
+func MonolithicYield(d DieYield, totalAreaMM2 float64) float64 {
+	return d.Yield(totalAreaMM2)
+}
+
+// Cost models the silicon bill of materials.
+type Cost struct {
+	// WaferCostUSD is the cost of one processed 300 mm logic wafer.
+	WaferCostUSD float64
+	// WaferAreaMM2 is the usable area of that wafer.
+	WaferAreaMM2 float64
+	// SubstrateCostUSD is the cost of one waferscale interconnect
+	// substrate (coarse-pitch passive wafer plus bonding).
+	SubstrateCostUSD float64
+	// TestCostPerDieUSD is the KGD test cost per chiplet.
+	TestCostPerDieUSD float64
+}
+
+// DefaultCost reflects public 5 nm-class wafer pricing.
+var DefaultCost = Cost{
+	WaferCostUSD:      17000,
+	WaferAreaMM2:      66000, // ~70600 mm^2 gross, minus edge exclusion
+	SubstrateCostUSD:  5000,
+	TestCostPerDieUSD: 20,
+}
+
+// ChipletCostUSD returns the cost of one good, tested chiplet of the
+// given area: wafer cost amortized over good dies, plus test.
+func (c Cost) ChipletCostUSD(areaMM2 float64, d DieYield) float64 {
+	if areaMM2 <= 0 {
+		return 0
+	}
+	diesPerWafer := c.WaferAreaMM2 / areaMM2
+	goodDies := diesPerWafer * d.Yield(areaMM2)
+	if goodDies < 1 {
+		return math.Inf(1)
+	}
+	return c.WaferCostUSD/goodDies + c.TestCostPerDieUSD
+}
+
+// SystemReport summarizes yield and silicon cost for one switch build.
+type SystemReport struct {
+	Chiplets        int
+	ChipletAreaMM2  float64
+	SystemYield     float64
+	MonolithicYield float64
+	SiliconCostUSD  float64
+	// CostPerPortUSD spreads the silicon cost over the switch ports.
+	CostPerPortUSD float64
+}
+
+// Report computes the build economics of a switch with n chiplets of the
+// given area and the given port count.
+func Report(n int, chipletAreaMM2 float64, ports int, d DieYield, a Assembly, c Cost) (*SystemReport, error) {
+	if n <= 0 || ports <= 0 {
+		return nil, fmt.Errorf("yield: invalid system (%d chiplets, %d ports)", n, ports)
+	}
+	sy := a.SystemYield(n)
+	chipletCost := c.ChipletCostUSD(chipletAreaMM2, d)
+	total := (float64(n+a.SpareChiplets)*chipletCost + c.SubstrateCostUSD) / sy
+	return &SystemReport{
+		Chiplets:        n,
+		ChipletAreaMM2:  chipletAreaMM2,
+		SystemYield:     sy,
+		MonolithicYield: MonolithicYield(d, float64(n)*chipletAreaMM2),
+		SiliconCostUSD:  total,
+		CostPerPortUSD:  total / float64(ports),
+	}, nil
+}

@@ -1,0 +1,130 @@
+package yield
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDieYieldBounds(t *testing.T) {
+	d := DefaultDieYield
+	if got := d.Yield(0); got != 1 {
+		t.Errorf("Yield(0) = %v, want 1", got)
+	}
+	y800 := d.Yield(800)
+	if y800 <= 0 || y800 >= 1 {
+		t.Errorf("Yield(800) = %v, want in (0,1)", y800)
+	}
+	// A TH-5-class 800 mm^2 die at D0=0.1, alpha=3 yields ~49%.
+	if y800 < 0.4 || y800 > 0.6 {
+		t.Errorf("Yield(800mm^2) = %v, want ~0.49", y800)
+	}
+}
+
+func TestDieYieldMonotone(t *testing.T) {
+	d := DefaultDieYield
+	f := func(a, b uint16) bool {
+		sm := float64(a % 2000)
+		lg := sm + float64(b%2000)
+		return d.Yield(lg) <= d.Yield(sm)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSystemYieldKGD(t *testing.T) {
+	a := DefaultAssembly
+	// 96 chiplets at 99.9% bond yield: ~91% of assemblies bond fully.
+	y := a.SystemYield(96)
+	want := 0.95 * math.Pow(0.999, 96)
+	if math.Abs(y-want) > 1e-9 {
+		t.Errorf("SystemYield(96) = %v, want %v", y, want)
+	}
+	if y < 0.8 {
+		t.Errorf("chiplet-based 96-die system yield = %v, want > 0.8", y)
+	}
+}
+
+func TestSystemYieldSparesHelp(t *testing.T) {
+	noSpare := DefaultAssembly
+	withSpare := DefaultAssembly
+	withSpare.SpareChiplets = 2
+	if withSpare.SystemYield(96) <= noSpare.SystemYield(96) {
+		t.Error("spare chiplets did not improve system yield")
+	}
+	if y := withSpare.SystemYield(96); y < 0.949 {
+		t.Errorf("yield with 2 spares = %v, want ~substrate-limited 0.95", y)
+	}
+}
+
+func TestMonolithicYieldCollapses(t *testing.T) {
+	// The monolithic equivalent of 96 x 800 mm^2 of switch silicon is
+	// essentially unmanufacturable without redundancy — the paper's
+	// Section III-A argument for chiplet-based WSI.
+	mono := MonolithicYield(DefaultDieYield, 96*800)
+	if mono > 1e-3 {
+		t.Errorf("monolithic 76800 mm^2 yield = %v, want ~0", mono)
+	}
+	chiplet := DefaultAssembly.SystemYield(96)
+	if chiplet < 1e3*mono {
+		t.Error("chiplet-based yield should dwarf monolithic yield")
+	}
+}
+
+func TestChipletCost(t *testing.T) {
+	c := DefaultCost
+	d := DefaultDieYield
+	cost800 := c.ChipletCostUSD(800, d)
+	// ~82.5 gross dies, ~77% yield -> ~64 good dies -> ~$270 + test.
+	if cost800 < 150 || cost800 > 500 {
+		t.Errorf("800 mm^2 chiplet cost = $%v, want a few hundred dollars", cost800)
+	}
+	// Smaller dies are much cheaper per die.
+	cost200 := c.ChipletCostUSD(200, d)
+	if cost200 >= cost800/2 {
+		t.Errorf("200 mm^2 chiplet ($%v) should be far cheaper than 800 mm^2 ($%v)", cost200, cost800)
+	}
+	if got := c.ChipletCostUSD(0, d); got != 0 {
+		t.Errorf("zero-area chiplet cost = %v", got)
+	}
+}
+
+func TestReport(t *testing.T) {
+	r, err := Report(96, 800, 8192, DefaultDieYield, DefaultAssembly, DefaultCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SystemYield <= 0 || r.SystemYield >= 1 {
+		t.Errorf("system yield = %v", r.SystemYield)
+	}
+	// Silicon cost per port must be tiny against the $5000 the paper
+	// quotes for a single 800G transceiver module — the economies-of-
+	// scale argument of Section II.
+	if r.CostPerPortUSD > 20 {
+		t.Errorf("silicon cost per port = $%v, want < $20", r.CostPerPortUSD)
+	}
+	if r.MonolithicYield >= r.SystemYield {
+		t.Error("monolithic yield should be below chiplet-based yield")
+	}
+	if _, err := Report(0, 800, 10, DefaultDieYield, DefaultAssembly, DefaultCost); err == nil {
+		t.Error("zero chiplets accepted")
+	}
+	if _, err := Report(10, 800, 0, DefaultDieYield, DefaultAssembly, DefaultCost); err == nil {
+		t.Error("zero ports accepted")
+	}
+}
+
+func TestBinomPMFSums(t *testing.T) {
+	n := 50
+	var sum float64
+	for k := 0; k <= n; k++ {
+		sum += binomPMF(n, k, 0.3)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("binomial PMF sums to %v", sum)
+	}
+	if binomPMF(10, -1, 0.5) != 0 || binomPMF(10, 11, 0.5) != 0 {
+		t.Error("out-of-range PMF not zero")
+	}
+}
