@@ -1,0 +1,34 @@
+# Developer entry points. `make check` is the pre-commit gate the
+# ROADMAP's verify instructions reference: vet + formatting + the
+# race-enabled simulator tests on top of the tier-1 suite.
+
+GO ?= go
+
+.PHONY: all build test check vet fmt race bench
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# check runs the static gates plus the race detector over the simulator
+# (the only package with cycle-level hot loops worth racing).
+check: vet fmt race
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+race:
+	$(GO) test -race ./internal/sim/... ./internal/obs/...
+
+bench:
+	$(GO) test -bench=. -benchmem -short ./...

@@ -8,27 +8,68 @@
 //	wsswitch all               run every experiment
 //	wsswitch -quick <id>       run at reduced scale (seconds, not minutes)
 //	wsswitch -seed N <id>      change the deterministic seed
+//	wsswitch -json <id>        emit machine-readable JSON (tables + raw
+//	                           sim stats + per-router/per-channel probes)
+//	wsswitch -v <id>           structured progress logs on stderr
+//	wsswitch -cpuprofile f ... write a pprof CPU profile of the run
+//	wsswitch -memprofile f ... write a pprof heap profile after the run
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"waferswitch/internal/expt"
 )
 
+// jsonOutput is the top-level shape of `wsswitch -json`: the options the
+// run used plus one entry per experiment. Failed experiments report
+// their error instead of a table.
+type jsonOutput struct {
+	Options     jsonOptions  `json:"options"`
+	Experiments []jsonResult `json:"experiments"`
+}
+
+type jsonOptions struct {
+	Quick bool  `json:"quick"`
+	Seed  int64 `json:"seed"`
+}
+
+type jsonResult struct {
+	ID    string      `json:"id"`
+	Table *expt.Table `json:"table,omitempty"`
+	Error string      `json:"error,omitempty"`
+}
+
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	quick := flag.Bool("quick", false, "run at reduced scale")
 	seed := flag.Int64("seed", 1, "deterministic seed")
+	jsonOut := flag.Bool("json", false, "emit results as JSON (tables, raw stats, probe snapshots)")
+	verbose := flag.Bool("v", false, "structured progress logs (slog) on stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to `file`")
+	memprofile := flag.String("memprofile", "", "write heap profile to `file`")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
-		os.Exit(2)
+		return 2
 	}
-	opts := expt.Options{Quick: *quick, Seed: *seed}
+	opts := expt.Options{Quick: *quick, Seed: *seed, Probe: *jsonOut}
+	if *verbose {
+		opts.Logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{
+			Level: slog.LevelDebug,
+		}))
+	}
 
 	var ids []string
 	switch args[0] {
@@ -36,29 +77,72 @@ func main() {
 		for _, id := range expt.IDs() {
 			fmt.Println(id)
 		}
-		return
+		return 0
 	case "all":
 		ids = expt.IDs()
 	default:
 		ids = args
 	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wsswitch: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "wsswitch: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	failed := false
+	out := jsonOutput{Options: jsonOptions{Quick: *quick, Seed: *seed}}
 	for _, id := range ids {
 		t, err := expt.Run(id, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "wsswitch: %v\n", err)
+			out.Experiments = append(out.Experiments, jsonResult{ID: id, Error: err.Error()})
 			failed = true
 			continue
 		}
-		fmt.Println(t.Render())
+		out.Experiments = append(out.Experiments, jsonResult{ID: t.ID, Table: t})
+		if !*jsonOut {
+			fmt.Println(t.Render())
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "wsswitch: encoding JSON: %v\n", err)
+			failed = true
+		}
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wsswitch: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "wsswitch: %v\n", err)
+			return 1
+		}
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: wsswitch [-quick] [-seed N] <command>
+	fmt.Fprintf(os.Stderr, `usage: wsswitch [flags] <command>
 
 commands:
   list            list all experiment ids
@@ -66,8 +150,11 @@ commands:
   <id> [...]      run specific experiments (fig5..fig28, table1..table9)
 
 examples:
-  wsswitch fig7           # max ports per external I/O scheme at 3200 Gbps/mm
-  wsswitch -quick all     # the full suite at reduced scale
+  wsswitch fig7                     # max ports per external I/O scheme
+  wsswitch -quick all               # the full suite at reduced scale
+  wsswitch -json fig22 > fig22.json # tables + stats + probe counters
+  wsswitch -v -quick fig23          # watch simulation progress
+  wsswitch -cpuprofile cpu.out fig24
 `)
 	flag.PrintDefaults()
 }

@@ -1,6 +1,9 @@
 package expt
 
 import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
 	"strconv"
 	"strings"
 	"testing"
@@ -141,6 +144,99 @@ func TestFig16ReductionInPaperBand(t *testing.T) {
 		return
 	}
 	t.Fatal("no 300mm row in fig16")
+}
+
+// With Probe enabled, simulator experiments must attach raw stats,
+// sweep summaries and per-router probe snapshots, and the whole table
+// must survive a JSON round trip — the contract behind wsswitch -json.
+func TestFig22ProbeAttachments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment in short mode")
+	}
+	tab, err := Run("fig22", Options{Quick: true, Seed: 1, Probe: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"baseline_stats", "baseline_summary", "baseline_probes",
+		"proprietary_stats", "proprietary_summary", "proprietary_probes",
+	} {
+		if _, ok := tab.Attachments[key]; !ok {
+			t.Errorf("fig22 missing attachment %q", key)
+		}
+	}
+	b, err := json.Marshal(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back struct {
+		Attachments map[string]json.RawMessage `json:"attachments"`
+	}
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	var probes []struct {
+		Probe struct {
+			Routers []map[string]interface{} `json:"routers"`
+			Latency map[string]interface{}   `json:"latency"`
+		} `json:"probe"`
+	}
+	if err := json.Unmarshal(back.Attachments["proprietary_probes"], &probes); err != nil {
+		t.Fatal(err)
+	}
+	if len(probes) == 0 || len(probes[0].Probe.Routers) == 0 {
+		t.Fatal("probe snapshots empty")
+	}
+	for _, key := range []string{"sa_stalls", "va_stalls", "credit_stalls", "flits"} {
+		if _, ok := probes[0].Probe.Routers[0][key]; !ok {
+			t.Errorf("router snapshot missing %q", key)
+		}
+	}
+	for _, key := range []string{"p50", "p99", "p999"} {
+		if _, ok := probes[0].Probe.Latency[key]; !ok {
+			t.Errorf("latency snapshot missing %q", key)
+		}
+	}
+	// Without Probe, no probe attachments ride along (stats still do).
+	plain, err := Run("fig22", Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := plain.Attachments["proprietary_probes"]; ok {
+		t.Error("probe attachments present without Probe option")
+	}
+}
+
+// A logger passed through Options must receive experiment and simulator
+// events without altering results.
+func TestRunWithLogger(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment in short mode")
+	}
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	tab, err := Run("ext-tail", Options{Quick: true, Seed: 1, Logger: logger})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Run("ext-tail", Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain.Rows {
+		for j := range plain.Rows[i] {
+			if plain.Rows[i][j] != tab.Rows[i][j] {
+				t.Errorf("logging changed results: row %d cell %d: %q vs %q",
+					i, j, plain.Rows[i][j], tab.Rows[i][j])
+			}
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{"expt.start", "sim.run", "expt.done"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log missing %q event", want)
+		}
+	}
 }
 
 func TestTableRender(t *testing.T) {

@@ -112,7 +112,7 @@ func extMeshSim(o Options) (*Table, error) {
 		return nil, err
 	}
 	warm, measure := o.simWindow()
-	cfg := waferscaleConfig(warm, measure, 8, 32, 4, o.seed())
+	cfg := o.waferscaleConfig(warm, measure, 8, 32, 4)
 	loads := []float64{0.3, 0.5, 0.7, 0.9}
 	if o.Quick {
 		loads = []float64{0.3, 0.7}
@@ -162,10 +162,10 @@ func extTailLatency(o Options) (*Table, error) {
 	t := &Table{
 		ID:      "ext-tail",
 		Title:   fmt.Sprintf("Latency tails at 0.5 load (uniform, %d ports): waferscale vs discrete network", ports),
-		Headers: []string{"system", "avg (cycles)", "p50", "p99"},
+		Headers: []string{"system", "avg (cycles)", "p50", "p99", "p999"},
 	}
-	wsCfg := waferscaleConfig(warm, measure, 16, 32, 4, o.seed())
-	netCfg := baselineConfig(warm, measure, 16, 32, 4, o.seed())
+	wsCfg := o.waferscaleConfig(warm, measure, 16, 32, 4)
+	netCfg := o.baselineConfig(warm, measure, 16, 32, 4)
 	injf := sim.SyntheticInjector(traffic.Uniform(ports), 4)
 	for _, f := range []struct {
 		name string
@@ -181,7 +181,10 @@ func extTailLatency(o Options) (*Table, error) {
 			return nil, err
 		}
 		st := n.Run(inj, 0.5)
-		t.AddRow(f.name, st.AvgLatency, st.P50Latency, st.P99Latency)
+		t.AddRow(f.name, st.AvgLatency, st.P50Latency, st.P99Latency, st.P999Latency)
+		if o.Probe {
+			t.Attach(f.name+"_latency", n.Snapshot().Latency)
+		}
 	}
 	return t, nil
 }

@@ -55,24 +55,53 @@ func simClos(ports int) (*topo.Topology, error) {
 
 // Waferscale switch delays (Section VI, in 20 ns cycles): SSC delay 11
 // cycles (RC included), 1-cycle on-wafer links, 8-cycle host I/O.
-func waferscaleConfig(warm, measure int, numVCs, buf, pkt int, seed int64) sim.Config {
+func (o Options) waferscaleConfig(warm, measure int, numVCs, buf, pkt int) sim.Config {
 	return sim.Config{
 		NumVCs: numVCs, BufPerPort: buf, PacketFlits: pkt,
 		RCIngress: 2, RCOther: 2, PipeDelay: 9, TermDelay: 8,
 		WarmupCycles: warm, MeasureCycles: measure, DrainCycles: 3 * measure,
-		Seed: seed,
+		Seed: o.seed(), Logger: o.Logger,
 	}
 }
 
 // Baseline discrete switch network: 15-cycle switch boxes, 8-cycle
 // rack-scale links between boxes.
-func baselineConfig(warm, measure int, numVCs, buf, pkt int, seed int64) sim.Config {
+func (o Options) baselineConfig(warm, measure int, numVCs, buf, pkt int) sim.Config {
 	return sim.Config{
 		NumVCs: numVCs, BufPerPort: buf, PacketFlits: pkt,
 		RCIngress: 4, RCOther: 4, PipeDelay: 11, TermDelay: 8,
 		WarmupCycles: warm, MeasureCycles: measure, DrainCycles: 3 * measure,
-		Seed: seed,
+		Seed: o.seed(), Logger: o.Logger,
 	}
+}
+
+// sweepAttach attaches the raw stats of a sweep series (and, with probes
+// enabled, per-point probe snapshots) plus its summary to the table
+// under the given series name.
+func sweepAttach(t *Table, o Options, series string, stats []sim.Stats, probes []sim.SweepPoint) {
+	t.Attach(series+"_stats", stats)
+	t.Attach(series+"_summary", sim.Summarize(stats))
+	if o.Probe && probes != nil {
+		t.Attach(series+"_probes", probes)
+	}
+}
+
+// runSweep executes one load sweep, with probes when o.Probe is set. The
+// returned points are nil when probes are disabled.
+func runSweep(o Options, build sim.Builder, injf sim.InjectorFactory, loads []float64) ([]sim.Stats, []sim.SweepPoint, error) {
+	if !o.Probe {
+		stats, err := sim.LatencyVsLoad(build, injf, loads)
+		return stats, nil, err
+	}
+	pts, err := sim.LatencyVsLoadProbed(build, injf, loads)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := make([]sim.Stats, len(pts))
+	for i := range pts {
+		stats[i] = pts[i].Stats
+	}
+	return stats, pts, nil
 }
 
 // fig21 reproduces the buffer-sizing study: saturation throughput vs
@@ -108,7 +137,7 @@ func fig21(o Options) (*Table, error) {
 	for _, buf := range buffers {
 		row := []interface{}{buf}
 		for _, lat := range lats {
-			cfg := waferscaleConfig(warm, measure, 8, buf, 4, o.seed())
+			cfg := o.waferscaleConfig(warm, measure, 8, buf, 4)
 			build := func() (*sim.Network, error) { return sim.Build(cl, sim.ConstantLatency(lat), cfg) }
 			stats, err := sim.LatencyVsLoad(build, sim.SyntheticInjector(traffic.Uniform(ports), 4), loads)
 			if err != nil {
@@ -145,16 +174,16 @@ func fig22(o Options) (*Table, error) {
 		NumVCs: 2, BufPerPort: 32, PacketFlits: 4,
 		RCIngress: 4, RCOther: 4, PipeDelay: 12, TermDelay: 8,
 		WarmupCycles: warm, MeasureCycles: measure, DrainCycles: 3 * measure,
-		Seed: o.seed(),
+		Seed: o.seed(), Logger: o.Logger,
 	}
 	prop := base
 	prop.RCIngress, prop.RCOther = 2, 1
 	injf := sim.SyntheticInjector(traffic.Uniform(ports), 4)
-	sBase, err := sim.LatencyVsLoad(func() (*sim.Network, error) { return sim.Build(cl, sim.ConstantLatency(1), base) }, injf, o.simLoads())
+	sBase, pBase, err := runSweep(o, func() (*sim.Network, error) { return sim.Build(cl, sim.ConstantLatency(1), base) }, injf, o.simLoads())
 	if err != nil {
 		return nil, err
 	}
-	sProp, err := sim.LatencyVsLoad(func() (*sim.Network, error) { return sim.Build(cl, sim.ConstantLatency(1), prop) }, injf, o.simLoads())
+	sProp, pProp, err := runSweep(o, func() (*sim.Network, error) { return sim.Build(cl, sim.ConstantLatency(1), prop) }, injf, o.simLoads())
 	if err != nil {
 		return nil, err
 	}
@@ -162,9 +191,14 @@ func fig22(o Options) (*Table, error) {
 		t.AddRow(sBase[i].Offered, sBase[i].AvgLatency, sProp[i].AvgLatency,
 			sBase[i].Accepted, sProp[i].Accepted)
 	}
+	sweepAttach(t, o, "baseline", sBase, pBase)
+	sweepAttach(t, o, "proprietary", sProp, pProp)
 	satB, satP := sim.SaturationThroughput(sBase), sim.SaturationThroughput(sProp)
 	t.Notes = append(t.Notes, fmt.Sprintf("saturation throughput: baseline %.3f, proprietary %.3f (%+.1f%%) — paper reports +11%% to +14.5%%",
 		satB, satP, (satP/satB-1)*100))
+	if knee, ok := sim.FirstSaturatedLoad(sProp); ok {
+		t.Notes = append(t.Notes, fmt.Sprintf("proprietary routing saturates at offered load %.2f", knee))
+	}
 	return t, nil
 }
 
@@ -189,8 +223,8 @@ func fig23(o Options) (*Table, error) {
 	if o.Quick {
 		pats = pats[:3]
 	}
-	wsCfg := waferscaleConfig(warm, measure, 16, 32, 4, o.seed())
-	netCfg := baselineConfig(warm, measure, 16, 32, 4, o.seed())
+	wsCfg := o.waferscaleConfig(warm, measure, 16, 32, 4)
+	netCfg := o.baselineConfig(warm, measure, 16, 32, 4)
 	var wsZeroUniform, netZeroUniform float64
 	for _, pat := range pats {
 		injf := sim.SyntheticInjector(pat, 4)
@@ -204,17 +238,19 @@ func fig23(o Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		wsStats, err := sim.LatencyVsLoad(wsBuild, injf, o.simLoads())
+		wsStats, wsPts, err := runSweep(o, wsBuild, injf, o.simLoads())
 		if err != nil {
 			return nil, err
 		}
-		netStats, err := sim.LatencyVsLoad(netBuild, injf, o.simLoads())
+		netStats, netPts, err := runSweep(o, netBuild, injf, o.simLoads())
 		if err != nil {
 			return nil, err
 		}
 		if pat.Name == "uniform" {
 			wsZeroUniform, netZeroUniform = wsZL, netZL
 		}
+		sweepAttach(t, o, "waferscale_"+pat.Name, wsStats, wsPts)
+		sweepAttach(t, o, "network_"+pat.Name, netStats, netPts)
 		t.AddRow(pat.Name, wsZL, netZL,
 			sim.SaturationThroughput(wsStats), sim.SaturationThroughput(netStats))
 	}
@@ -250,18 +286,20 @@ func fig24(o Options) (*Table, error) {
 	// longer credit round trip caps its per-port throughput (the
 	// buffer-sizing effect of Section VI) while the on-wafer switch stays
 	// injection-limited.
-	wsCfg := waferscaleConfig(warm, measure, 16, 24, 4, o.seed())
-	netCfg := baselineConfig(warm, measure, 16, 24, 4, o.seed())
+	wsCfg := o.waferscaleConfig(warm, measure, 16, 24, 4)
+	netCfg := o.baselineConfig(warm, measure, 16, 24, 4)
 	for _, trc := range traces {
 		injf := sim.TraceInjectorFactory(trc)
-		wsStats, err := sim.LatencyVsLoad(func() (*sim.Network, error) { return sim.Build(cl, sim.ConstantLatency(1), wsCfg) }, injf, o.simLoads())
+		wsStats, wsPts, err := runSweep(o, func() (*sim.Network, error) { return sim.Build(cl, sim.ConstantLatency(1), wsCfg) }, injf, o.simLoads())
 		if err != nil {
 			return nil, err
 		}
-		netStats, err := sim.LatencyVsLoad(func() (*sim.Network, error) { return sim.Build(cl, sim.ConstantLatency(8), netCfg) }, injf, o.simLoads())
+		netStats, netPts, err := runSweep(o, func() (*sim.Network, error) { return sim.Build(cl, sim.ConstantLatency(8), netCfg) }, injf, o.simLoads())
 		if err != nil {
 			return nil, err
 		}
+		sweepAttach(t, o, "waferscale_"+trc.Name, wsStats, wsPts)
+		sweepAttach(t, o, "network_"+trc.Name, netStats, netPts)
 		ws, net := sim.SaturationThroughput(wsStats), sim.SaturationThroughput(netStats)
 		gain := "-"
 		if net > 0 {

@@ -6,18 +6,33 @@ package expt
 
 import (
 	"fmt"
+	"log/slog"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Table is the result of one experiment: the rows of a paper table, or
-// the series of a paper figure rendered as rows.
+// the series of a paper figure rendered as rows. It is JSON-tagged for
+// the wsswitch -json output; Attachments carries machine-readable extras
+// (raw sim.Stats series, probe snapshots, sweep summaries) that the text
+// Render omits.
 type Table struct {
-	ID      string
-	Title   string
-	Headers []string
-	Rows    [][]string
-	Notes   []string
+	ID          string                 `json:"id"`
+	Title       string                 `json:"title"`
+	Headers     []string               `json:"headers"`
+	Rows        [][]string             `json:"rows"`
+	Notes       []string               `json:"notes,omitempty"`
+	Attachments map[string]interface{} `json:"attachments,omitempty"`
+}
+
+// Attach records a machine-readable extra under the given key. The value
+// must marshal to JSON; it is ignored by the text renderer.
+func (t *Table) Attach(key string, v interface{}) {
+	if t.Attachments == nil {
+		t.Attachments = make(map[string]interface{})
+	}
+	t.Attachments[key] = v
 }
 
 // AddRow appends a row, formatting every cell with %v.
@@ -92,6 +107,13 @@ type Options struct {
 	Quick bool
 	// Seed makes every experiment deterministic.
 	Seed int64
+	// Logger, when non-nil, receives structured progress events from the
+	// experiments and the simulator runs under them (wsswitch -v).
+	Logger *slog.Logger
+	// Probe attaches per-router/per-channel collectors to simulator
+	// experiments and attaches their snapshots to the result tables
+	// (wsswitch -json). Costs a few percent of simulation throughput.
+	Probe bool
 }
 
 func (o Options) seed() int64 {
@@ -126,9 +148,21 @@ func Run(id string, o Options) (*Table, error) {
 	if !ok {
 		return nil, fmt.Errorf("expt: unknown experiment %q (see IDs())", id)
 	}
+	var start time.Time
+	if o.Logger != nil {
+		start = time.Now()
+		o.Logger.Info("expt.start", "id", id, "quick", o.Quick, "seed", o.seed(), "probe", o.Probe)
+	}
 	t, err := r(o)
 	if err != nil {
+		if o.Logger != nil {
+			o.Logger.Error("expt.failed", "id", id, "err", err)
+		}
 		return nil, fmt.Errorf("expt: %s: %w", id, err)
+	}
+	if o.Logger != nil {
+		o.Logger.Info("expt.done", "id", id, "rows", len(t.Rows),
+			"attachments", len(t.Attachments), "elapsed", time.Since(start).Round(time.Millisecond))
 	}
 	return t, nil
 }

@@ -2,8 +2,10 @@ package sim
 
 import (
 	"fmt"
+	"log/slog"
 	"math/rand"
 
+	"waferswitch/internal/obs"
 	"waferswitch/internal/topo"
 )
 
@@ -77,10 +79,15 @@ type Network struct {
 	// Statistics accumulators (managed by run.go).
 	measStart, measEnd int64
 	latencySum         float64
-	latencies          []float64 // per measured packet, for percentiles
+	latHist            obs.Histogram // per measured packet, for percentiles; fixed memory
 	completed          int
 	measuredBorn       int
 	ejectedFlits       int64
+
+	// Observability (see probe.go): both are nil-checked on the fast
+	// path, so a run without instrumentation pays only the branch.
+	probe  *obs.Collector
+	logger *slog.Logger
 }
 
 // Build instantiates a simulable network from a logical topology. Every
@@ -139,6 +146,7 @@ func Build(t *topo.Topology, lat LinkLatency, cfg Config) (*Network, error) {
 		saWinner: make([]int32, maxP),
 		saStamp:  make([]int64, maxP),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		logger:   cfg.Logger,
 	}
 	for i := range n.feedCh {
 		n.feedCh[i] = -1

@@ -2,8 +2,8 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
-	"sort"
 
 	"waferswitch/internal/traffic"
 )
@@ -84,8 +84,24 @@ func (n *Network) Run(inj Injector, offered float64) Stats {
 	if drain <= 0 {
 		drain = 10 * int64(cfg.MeasureCycles)
 	}
+	if n.logger != nil {
+		n.logger.Info("sim.run",
+			"routers", n.R, "terminals", n.T, "channels", len(n.channels),
+			"offered", offered, "warmup", cfg.WarmupCycles,
+			"measure", cfg.MeasureCycles, "probe", n.probe != nil)
+	}
+	window := n.measEnd / 4
+	if window < 1 {
+		window = 1
+	}
 	for n.now = 0; n.now < n.measEnd; n.now++ {
 		n.step(inj)
+		if n.logger != nil && (n.now+1)%window == 0 {
+			n.logger.Debug("sim.progress",
+				"cycle", n.now+1, "of", n.measEnd,
+				"born", n.measuredBorn, "completed", n.completed,
+				"ejected_flits", n.ejectedFlits)
+		}
 	}
 	deadline := n.measEnd + drain
 	for n.completed < n.measuredBorn && n.now < deadline {
@@ -101,19 +117,41 @@ func (n *Network) Run(inj Injector, offered float64) Stats {
 	}
 	if n.completed > 0 {
 		st.AvgLatency = n.latencySum / float64(n.completed)
-		sort.Float64s(n.latencies)
-		st.P50Latency = percentile(n.latencies, 0.50)
-		st.P99Latency = percentile(n.latencies, 0.99)
+		st.P50Latency = n.latHist.Percentile(0.50)
+		st.P99Latency = n.latHist.Percentile(0.99)
+		st.P999Latency = n.latHist.Percentile(0.999)
+	}
+	if n.logger != nil {
+		if st.Drained {
+			n.logger.Info("sim.drained",
+				"offered", offered, "accepted", st.Accepted,
+				"avg_latency", st.AvgLatency, "p99_latency", st.P99Latency,
+				"drain_cycles", n.now-n.measEnd, "completed", st.Completed)
+		} else {
+			n.logger.Warn("sim.saturated",
+				"offered", offered, "accepted", st.Accepted,
+				"completed", st.Completed, "born", n.measuredBorn,
+				"stranded", n.measuredBorn-st.Completed, "cycles", st.Cycles)
+		}
 	}
 	return st
 }
 
-// percentile returns the p-quantile of sorted values (nearest-rank).
+// percentile returns the p-quantile of sorted values using nearest-rank
+// (index ceil(p*n)-1). The histogram in internal/obs follows the same
+// convention so Stats percentiles agree with an exact recomputation to
+// within one histogram bucket.
 func percentile(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
 		return 0
 	}
-	i := int(p * float64(len(sorted)-1))
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
 	return sorted[i]
 }
 
@@ -124,6 +162,27 @@ func (n *Network) step(inj Injector) {
 	n.routersRCVA()
 	n.routersSA()
 	n.inject(inj)
+	if n.probe != nil {
+		n.recordOccupancy()
+	}
+}
+
+// recordOccupancy accumulates per-router buffer occupancy into the
+// attached collector, once per cycle. Only runs with a probe attached.
+func (n *Network) recordOccupancy() {
+	n.probe.Cycles++
+	for r := 0; r < n.R; r++ {
+		base := r * n.maxP
+		var occ int64
+		for p := 0; p < int(n.numPorts[r]); p++ {
+			occ += int64(n.inOcc[base+p])
+		}
+		rc := &n.probe.Routers[r]
+		rc.OccSum += occ
+		if occ > rc.OccPeak {
+			rc.OccPeak = occ
+		}
+	}
 }
 
 // arrivals delivers flits and credits whose channel latency elapsed.
@@ -188,6 +247,9 @@ func (n *Network) routersRCVA() {
 							break
 						}
 					}
+					if vc.state == vcVCAlloc && n.probe != nil {
+						n.probe.Routers[r].VAStalls++
+					}
 				}
 			}
 		}
@@ -235,9 +297,15 @@ func (n *Network) routersSA() {
 				}
 				out := int(vc.outPort)
 				if n.saStamp[out] == n.saClock {
+					if n.probe != nil {
+						n.probe.Routers[r].SAStalls++
+					}
 					continue // output already granted this cycle
 				}
 				if n.outs[base+out].credits <= 0 {
+					if n.probe != nil {
+						n.probe.Routers[r].CreditStalls++
+					}
 					continue
 				}
 				n.saStamp[out] = n.saClock
@@ -266,16 +334,25 @@ func (n *Network) forward(r, out, winnerVC int) {
 		c := &n.channels[ci]
 		c.credRing[n.now%int64(c.lat)]++
 	}
+	if n.probe != nil {
+		n.probe.Routers[r].Flits++
+	}
 	o := &n.outs[r*n.maxP+out]
 	if o.ch >= 0 {
 		c := &n.channels[o.ch]
 		c.ring[n.now%int64(c.lat)] = flitEv{f: f, vc: vc.outVC, valid: true}
 		o.credits--
+		if n.probe != nil {
+			n.probe.Channels[o.ch].Flits++
+		}
 	} else {
 		// Terminal ejection: the flit leaves through the egress pipeline
 		// and the host link.
 		if n.now >= n.measStart && n.now < n.measEnd {
 			n.ejectedFlits++
+		}
+		if n.probe != nil {
+			n.probe.Ejected++
 		}
 		if f.last {
 			n.completePacket(f.pkt)
@@ -296,7 +373,7 @@ func (n *Network) completePacket(pkt int32) {
 	if pi.measured {
 		lat := float64(n.now + int64(n.cfg.PipeDelay+n.cfg.TermDelay) - pi.born)
 		n.latencySum += lat
-		n.latencies = append(n.latencies, lat)
+		n.latHist.Observe(lat)
 		n.completed++
 	}
 	n.freePkts = append(n.freePkts, pkt)
@@ -338,6 +415,10 @@ func (n *Network) inject(inj Injector) {
 			f:     flit{pkt: pkt, last: last},
 			vc:    int32(int(pkt) % n.V),
 			valid: true,
+		}
+		if n.probe != nil {
+			n.probe.Injected++
+			n.probe.Channels[n.termChIn[t]].Flits++
 		}
 		n.srcCredit[t]--
 		n.srcSent[t]++

@@ -15,7 +15,10 @@
 // arrays; the steady-state simulation allocates nothing.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"log/slog"
+)
 
 // Config controls the router microarchitecture and measurement windows.
 type Config struct {
@@ -51,6 +54,12 @@ type Config struct {
 	DrainCycles int
 
 	Seed int64
+
+	// Logger, when non-nil, receives structured run events: run start,
+	// cycle-window progress (Debug), drain completion and saturation.
+	// The steady-state loop checks it once per cycle, not per flit, so a
+	// nil Logger costs nothing.
+	Logger *slog.Logger
 }
 
 func (c Config) validate() error {
@@ -152,24 +161,27 @@ type packetInfo struct {
 	measured bool
 }
 
-// Stats is the outcome of one simulation run.
+// Stats is the outcome of one simulation run. The struct is comparable
+// (no slices) and JSON-tagged for the wsswitch -json output.
 type Stats struct {
 	// Offered is the offered load in flits/terminal/cycle.
-	Offered float64
+	Offered float64 `json:"offered"`
 	// Accepted is the measured throughput in flits/terminal/cycle.
-	Accepted float64
+	Accepted float64 `json:"accepted"`
 	// AvgLatency is the mean packet latency (birth to tail ejection) in
 	// cycles over packets born in the measurement window.
-	AvgLatency float64
-	// P50Latency and P99Latency are latency percentiles over the same
-	// packets (tail behaviour matters for switch buffering decisions).
-	P50Latency float64
-	P99Latency float64
+	AvgLatency float64 `json:"avg_latency"`
+	// P50Latency, P99Latency and P999Latency are latency percentiles
+	// over the same packets, served from a fixed-memory log-scale
+	// histogram (tail behaviour matters for switch buffering decisions).
+	P50Latency  float64 `json:"p50_latency"`
+	P99Latency  float64 `json:"p99_latency"`
+	P999Latency float64 `json:"p999_latency"`
 	// Completed is the number of measured packets that finished.
-	Completed int
+	Completed int `json:"completed"`
 	// Drained reports whether all measured packets finished within the
 	// drain budget; false indicates the network is saturated.
-	Drained bool
+	Drained bool `json:"drained"`
 	// Cycles is the total simulated cycle count.
-	Cycles int64
+	Cycles int64 `json:"cycles"`
 }

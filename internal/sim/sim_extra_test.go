@@ -217,11 +217,18 @@ func TestLatencyPercentiles(t *testing.T) {
 
 func TestPercentileFunc(t *testing.T) {
 	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	// Nearest rank: index ceil(p*n)-1.
 	if got := percentile(vals, 0.5); got != 5 {
 		t.Errorf("p50 = %v, want 5", got)
 	}
-	if got := percentile(vals, 0.99); got != 9 {
-		t.Errorf("p99 of 10 values = %v, want 9 (nearest rank)", got)
+	if got := percentile(vals, 0.99); got != 10 {
+		t.Errorf("p99 of 10 values = %v, want 10 (rank ceil(0.99*10) = 10)", got)
+	}
+	if got := percentile(vals, 0.05); got != 1 {
+		t.Errorf("p5 of 10 values = %v, want 1 (rank ceil(0.05*10) = 1)", got)
+	}
+	if got := percentile(vals, 1.0); got != 10 {
+		t.Errorf("p100 = %v, want 10", got)
 	}
 	if got := percentile(nil, 0.5); got != 0 {
 		t.Errorf("empty percentile = %v", got)

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"waferswitch/internal/obs"
 	"waferswitch/internal/traffic"
 )
 
@@ -51,6 +52,36 @@ func LatencyVsLoad(build Builder, injf InjectorFactory, loads []float64) ([]Stat
 	return out, nil
 }
 
+// SweepPoint couples one load point's stats with its probe snapshot.
+type SweepPoint struct {
+	Stats Stats         `json:"stats"`
+	Probe *obs.Snapshot `json:"probe,omitempty"`
+}
+
+// LatencyVsLoadProbed is LatencyVsLoad with a fresh probe attached to
+// every run, returning per-point stats plus per-router/per-channel
+// counter snapshots and the latency histogram — the machine-readable
+// form behind wsswitch -json.
+func LatencyVsLoadProbed(build Builder, injf InjectorFactory, loads []float64) ([]SweepPoint, error) {
+	out := make([]SweepPoint, 0, len(loads))
+	for _, load := range loads {
+		n, err := build()
+		if err != nil {
+			return nil, err
+		}
+		inj, err := injf(load)
+		if err != nil {
+			return nil, err
+		}
+		if err := n.AttachProbe(n.NewProbe()); err != nil {
+			return nil, err
+		}
+		st := n.Run(inj, load)
+		out = append(out, SweepPoint{Stats: st, Probe: n.Snapshot()})
+	}
+	return out, nil
+}
+
 // SaturationThroughput extracts the saturation throughput from a load
 // sweep: the highest accepted throughput observed (accepted throughput
 // plateaus at saturation as offered load keeps rising).
@@ -62,6 +93,57 @@ func SaturationThroughput(stats []Stats) float64 {
 		}
 	}
 	return max
+}
+
+// FirstSaturatedLoad returns the offered load of the first sweep point
+// that failed to drain — the knee of the load-latency curve — and
+// whether any point saturated at all.
+func FirstSaturatedLoad(stats []Stats) (float64, bool) {
+	for _, s := range stats {
+		if !s.Drained {
+			return s.Offered, true
+		}
+	}
+	return 0, false
+}
+
+// SweepSummary condenses a load sweep. Latency figures cover only
+// Drained points: a saturated run's latency reflects the drain deadline
+// (and the unbounded queue behind it), not a steady state, so mixing it
+// into summaries poisons them.
+type SweepSummary struct {
+	// SaturationThroughput is the highest accepted throughput observed.
+	SaturationThroughput float64 `json:"saturation_throughput"`
+	// Saturated reports whether any point failed to drain;
+	// FirstSaturatedLoad is the offered load of the first such point.
+	Saturated          bool    `json:"saturated"`
+	FirstSaturatedLoad float64 `json:"first_saturated_load,omitempty"`
+	// MaxDrainedLatency and MaxDrainedP99 are the worst average and P99
+	// latency among drained points (0 when no point drained).
+	MaxDrainedLatency float64 `json:"max_drained_latency"`
+	MaxDrainedP99     float64 `json:"max_drained_p99"`
+	// DrainedPoints counts the sweep points that drained cleanly.
+	DrainedPoints int `json:"drained_points"`
+}
+
+// Summarize reduces a load sweep to its headline numbers, skipping
+// non-drained points' latency.
+func Summarize(stats []Stats) SweepSummary {
+	sum := SweepSummary{SaturationThroughput: SaturationThroughput(stats)}
+	sum.FirstSaturatedLoad, sum.Saturated = FirstSaturatedLoad(stats)
+	for _, s := range stats {
+		if !s.Drained {
+			continue
+		}
+		sum.DrainedPoints++
+		if s.AvgLatency > sum.MaxDrainedLatency {
+			sum.MaxDrainedLatency = s.AvgLatency
+		}
+		if s.P99Latency > sum.MaxDrainedP99 {
+			sum.MaxDrainedP99 = s.P99Latency
+		}
+	}
+	return sum
 }
 
 // ZeroLoadLatency runs the network at a near-zero load and returns the
