@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test check vet fmt race bench
+.PHONY: all build test check vet fmt race bench bench-json
 
 all: build test
 
@@ -15,7 +15,7 @@ test: build
 	$(GO) test ./...
 
 # check runs the static gates plus the race detector over the simulator
-# (the only package with cycle-level hot loops worth racing).
+# and the experiment harness (both spawn worker goroutines).
 check: vet fmt race
 
 vet:
@@ -27,8 +27,20 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# expt runs with -short: the full-suite test is redundant under race and
+# the dedicated pool/parallel-sweep tests never skip.
 race:
 	$(GO) test -race ./internal/sim/... ./internal/obs/...
+	$(GO) test -race -short ./internal/expt/...
 
 bench:
 	$(GO) test -bench=. -benchmem -short ./...
+
+# bench-json snapshots the guard benchmarks (simulator inner loop and
+# sweep engine: ns/op, allocs/op, cycles/op) into BENCH_sim.json so the
+# perf trajectory is machine-readable across commits.
+bench-json:
+	{ $(GO) test -run NONE -short -bench 'BenchmarkSimCycle$$|BenchmarkSweepSerial$$|BenchmarkSweepParallel$$' -benchmem . ; \
+	  $(GO) test -run NONE -short -bench 'BenchmarkSimSteadyState' -benchmem ./internal/sim ; } \
+	| $(GO) run ./cmd/benchjson > BENCH_sim.json
+	@echo wrote BENCH_sim.json

@@ -187,6 +187,50 @@ func BenchmarkSimCycle(b *testing.B) {
 	b.ReportMetric(float64(st.Cycles)/float64(b.N), "cycles/op")
 }
 
+// benchSweep runs a 12-point load sweep over a 128-port Clos through the
+// parallel sweep engine. Loads stay below saturation so every point
+// drains quickly and the benchmark measures simulation, not drain
+// deadlines.
+func benchSweep(b *testing.B, workers int) {
+	b.Helper()
+	chip, err := ssc.MustTH5(200).Deradix(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl, err := topo.HomogeneousClos(128, chip)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.Config{
+		NumVCs: 4, BufPerPort: 32, PacketFlits: 4,
+		RCIngress: 2, RCOther: 1, PipeDelay: 3, TermDelay: 8,
+		WarmupCycles: 200, MeasureCycles: 400, Seed: 1,
+	}
+	loads := make([]float64, 12)
+	for i := range loads {
+		loads[i] = 0.05 * float64(i+1)
+	}
+	build := func() (*sim.Network, error) { return sim.Build(cl, sim.ConstantLatency(1), cfg) }
+	injf := sim.SyntheticInjector(traffic.Uniform(128), cfg.PacketFlits)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Sweep(build, injf, loads, sim.SweepOptions{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Points) != len(loads) {
+			b.Fatalf("sweep returned %d points", len(res.Points))
+		}
+	}
+}
+
+// BenchmarkSweepSerial and BenchmarkSweepParallel compare one-worker
+// against all-core execution of the same deterministic sweep; the ratio
+// of their ns/op is the engine's wall-clock speedup on this machine
+// (near-linear up to the point count on multi-core hardware).
+func BenchmarkSweepSerial(b *testing.B)   { benchSweep(b, 1) }
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 0) }
+
 // BenchmarkClosConstruction measures logical-topology construction, the
 // inner loop of the design-space search.
 func BenchmarkClosConstruction(b *testing.B) {

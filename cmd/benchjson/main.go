@@ -1,0 +1,124 @@
+// Command benchjson converts `go test -bench` output on stdin into
+// machine-readable JSON on stdout, so the performance trajectory of the
+// guard benchmarks (ns/op, allocs/op, cycles/op) can be diffed across
+// commits. `make bench-json` pipes the simulator guard benchmarks
+// through it into BENCH_sim.json.
+//
+// Input lines it understands (all others pass through to the Ignored
+// count):
+//
+//	goos: linux
+//	goarch: amd64
+//	pkg: waferswitch/internal/sim
+//	cpu: ...
+//	BenchmarkSimCycle-8   1234   987.6 ns/op   0 B/op   0 allocs/op
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line: the benchmark name (sub-benchmark
+// path included, GOMAXPROCS suffix stripped into Procs) and its metrics
+// keyed by unit (ns/op, B/op, allocs/op, and any custom b.ReportMetric
+// units such as cycles/op).
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Output is the top-level JSON document.
+type Output struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Packages   []string    `json:"packages,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// parseLine parses one line of benchmark output into b. ok reports
+// whether the line was a benchmark result.
+func parseLine(line string) (b Benchmark, ok bool) {
+	fields := strings.Fields(line)
+	// Name, iterations, and at least one "value unit" pair.
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return b, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	b.Procs = 1
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if procs, err := strconv.Atoi(name[i+1:]); err == nil && procs > 0 {
+			b.Name, b.Procs = name[:i], procs
+		}
+	}
+	if b.Name == "" {
+		b.Name = name
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b.Iterations = iters
+	b.Metrics = make(map[string]float64)
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	if len(b.Metrics) == 0 {
+		return Benchmark{}, false
+	}
+	return b, true
+}
+
+// parse consumes benchmark output and assembles the JSON document.
+func parse(lines *bufio.Scanner) (*Output, error) {
+	out := &Output{Benchmarks: []Benchmark{}}
+	for lines.Scan() {
+		line := lines.Text()
+		if b, ok := parseLine(line); ok {
+			out.Benchmarks = append(out.Benchmarks, b)
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			out.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			out.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			out.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			out.Packages = append(out.Packages, strings.TrimPrefix(line, "pkg: "))
+		}
+	}
+	return out, lines.Err()
+}
+
+func main() {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	out, err := parse(sc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(out.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkSimCycle-8   \t 1234\t    987.6 ns/op\t       0 B/op\t       0 allocs/op\t      1.000 cycles/op")
+	if !ok {
+		t.Fatal("benchmark line not recognized")
+	}
+	if b.Name != "SimCycle" || b.Procs != 8 || b.Iterations != 1234 {
+		t.Errorf("parsed %+v", b)
+	}
+	want := map[string]float64{"ns/op": 987.6, "B/op": 0, "allocs/op": 0, "cycles/op": 1}
+	for unit, v := range want {
+		if b.Metrics[unit] != v {
+			t.Errorf("%s = %v, want %v", unit, b.Metrics[unit], v)
+		}
+	}
+
+	// No -procs suffix (GOMAXPROCS=1) and sub-benchmark names.
+	b, ok = parseLine("BenchmarkSweep/serial 	 5	 200 ns/op")
+	if !ok || b.Name != "Sweep/serial" || b.Procs != 1 || b.Metrics["ns/op"] != 200 {
+		t.Errorf("parsed %+v ok=%v", b, ok)
+	}
+
+	for _, bad := range []string{
+		"PASS",
+		"ok  \twaferswitch/internal/sim\t7.4s",
+		"goos: linux",
+		"BenchmarkBroken-4 notanumber 5 ns/op",
+		"BenchmarkNoMetrics-4 100",
+	} {
+		if _, ok := parseLine(bad); ok {
+			t.Errorf("line %q wrongly accepted as a benchmark", bad)
+		}
+	}
+}
+
+func TestParseDocument(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: waferswitch
+cpu: Imaginary CPU @ 3.0GHz
+BenchmarkSimCycle-4         	     100	   1000 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	waferswitch	1.1s
+pkg: waferswitch/internal/sim
+BenchmarkSimSteadyState-4   	     200	    500 ns/op
+PASS
+`
+	out, err := parse(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Goos != "linux" || out.Goarch != "amd64" || out.CPU != "Imaginary CPU @ 3.0GHz" {
+		t.Errorf("header: %+v", out)
+	}
+	if len(out.Packages) != 2 || out.Packages[1] != "waferswitch/internal/sim" {
+		t.Errorf("packages: %v", out.Packages)
+	}
+	if len(out.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(out.Benchmarks))
+	}
+	if out.Benchmarks[0].Name != "SimCycle" || out.Benchmarks[0].Metrics["allocs/op"] != 0 {
+		t.Errorf("first benchmark: %+v", out.Benchmarks[0])
+	}
+	if out.Benchmarks[1].Name != "SimSteadyState" || out.Benchmarks[1].Metrics["ns/op"] != 500 {
+		t.Errorf("second benchmark: %+v", out.Benchmarks[1])
+	}
+}

@@ -11,7 +11,12 @@
 //	wsswitch -json <id>        emit machine-readable JSON (tables + raw
 //	                           sim stats + per-router/per-channel probes)
 //	wsswitch -v <id>           structured progress logs on stderr
+//	wsswitch -workers N <id>   cap the worker goroutines experiments fan
+//	                           sweep points across (0 = one per CPU,
+//	                           1 = serial; results are identical)
 //	wsswitch -cpuprofile f ... write a pprof CPU profile of the run
+//	                           (samples carry experiment/worker/point
+//	                           pprof labels)
 //	wsswitch -memprofile f ... write a pprof heap profile after the run
 package main
 
@@ -36,8 +41,9 @@ type jsonOutput struct {
 }
 
 type jsonOptions struct {
-	Quick bool  `json:"quick"`
-	Seed  int64 `json:"seed"`
+	Quick   bool  `json:"quick"`
+	Seed    int64 `json:"seed"`
+	Workers int   `json:"workers"`
 }
 
 type jsonResult struct {
@@ -55,6 +61,7 @@ func run() int {
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	jsonOut := flag.Bool("json", false, "emit results as JSON (tables, raw stats, probe snapshots)")
 	verbose := flag.Bool("v", false, "structured progress logs (slog) on stderr")
+	workers := flag.Int("workers", 0, "worker goroutines for parallel sweeps (0 = GOMAXPROCS, 1 = serial)")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to `file`")
 	memprofile := flag.String("memprofile", "", "write heap profile to `file`")
 	flag.Usage = usage
@@ -64,7 +71,7 @@ func run() int {
 		usage()
 		return 2
 	}
-	opts := expt.Options{Quick: *quick, Seed: *seed, Probe: *jsonOut}
+	opts := expt.Options{Quick: *quick, Seed: *seed, Probe: *jsonOut, Workers: *workers}
 	if *verbose {
 		opts.Logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{
 			Level: slog.LevelDebug,
@@ -99,7 +106,7 @@ func run() int {
 	}
 
 	failed := false
-	out := jsonOutput{Options: jsonOptions{Quick: *quick, Seed: *seed}}
+	out := jsonOutput{Options: jsonOptions{Quick: *quick, Seed: *seed, Workers: *workers}}
 	for _, id := range ids {
 		t, err := expt.Run(id, opts)
 		if err != nil {
@@ -154,6 +161,7 @@ examples:
   wsswitch -quick all               # the full suite at reduced scale
   wsswitch -json fig22 > fig22.json # tables + stats + probe counters
   wsswitch -v -quick fig23          # watch simulation progress
+  wsswitch -workers 1 fig22         # force serial execution (same results)
   wsswitch -cpuprofile cpu.out fig24
 `)
 	flag.PrintDefaults()

@@ -67,29 +67,40 @@ func fig5(o Options) (*Table, error) {
 	if o.Quick {
 		sizes = []int{1024, 2048}
 	}
-	for _, ports := range sizes {
+	// Each size owns its rng (seeded from the experiment seed alone, as
+	// before), so sizes are independent and fan across the pool.
+	rows := make([][]interface{}, len(sizes))
+	err := o.pool().Each("fig5", len(sizes), func(i int) error {
+		ports := sizes[i]
 		cl, err := topo.HomogeneousClos(ports, chip)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows, cols := topo.NearSquare(len(cl.Nodes))
+		gr, gc := topo.NearSquare(len(cl.Nodes))
 		rng := rand.New(rand.NewSource(o.seed()))
 		randTotal := 0
 		const samples = 5
-		for i := 0; i < samples; i++ {
-			p, err := mapping.New(cl, rows, cols, rng)
+		for s := 0; s < samples; s++ {
+			p, err := mapping.New(cl, gr, gc, rng)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			randTotal += p.MaxLoad()
 		}
 		randLoad := float64(randTotal) / samples
-		best, err := mapping.Best(cl, rows, cols, o.restarts(), o.seed())
+		best, err := mapping.Best(cl, gr, gc, o.restarts(), o.seed())
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.AddRow(ports, len(cl.Nodes), fmt.Sprintf("%dx%d", rows, cols), randLoad,
-			best.MaxLoad(), fmt.Sprintf("%.0f%%", (randLoad/float64(best.MaxLoad())-1)*100))
+		rows[i] = []interface{}{ports, len(cl.Nodes), fmt.Sprintf("%dx%d", gr, gc), randLoad,
+			best.MaxLoad(), fmt.Sprintf("%.0f%%", (randLoad/float64(best.MaxLoad())-1)*100)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes, "paper reports 147.6% improvement in worst-case internal bandwidth per port with 1000 restarts")
 	return t, nil
@@ -132,14 +143,27 @@ func maxPortsTable(id, title string, w tech.WSI, o Options) (*Table, error) {
 		Title:   title,
 		Headers: []string{"substrate (mm)", "SerDes", "Optical I/O", "Area I/O"},
 	}
-	for _, side := range o.substrates() {
+	sides := o.substrates()
+	exts := []tech.ExternalIO{tech.SerDes, tech.OpticalIO, tech.AreaIOTech}
+	// The sides x schemes grid fans across the pool into index slots;
+	// rows are emitted serially afterwards.
+	ports := make([]int, len(sides)*len(exts))
+	err := o.pool().Each(id, len(ports), func(idx int) error {
+		side, ext := sides[idx/len(exts)], exts[idx%len(exts)]
+		r, err := core.MaxPorts(baseParams(side, w, ext, o), core.NoPower)
+		if err != nil {
+			return err
+		}
+		ports[idx] = r.Best.Ports
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, side := range sides {
 		row := []interface{}{side}
-		for _, ext := range []tech.ExternalIO{tech.SerDes, tech.OpticalIO, tech.AreaIOTech} {
-			r, err := core.MaxPorts(baseParams(side, w, ext, o), core.NoPower)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, r.Best.Ports)
+		for ei := range exts {
+			row = append(row, ports[si*len(exts)+ei])
 		}
 		t.AddRow(row...)
 	}
@@ -236,17 +260,25 @@ func powerBreakdownTable(id, title string, w tech.WSI, o Options) (*Table, error
 	if o.Quick {
 		sides = []float64{300}
 	}
-	for _, side := range sides {
-		for _, ext := range []tech.ExternalIO{tech.SerDes, tech.OpticalIO, tech.AreaIOTech} {
-			r, err := core.MaxPorts(baseParams(side, w, ext, o), core.NoPower)
-			if err != nil {
-				return nil, err
-			}
-			d := r.Best
-			b := d.Power
-			t.AddRow(side, ext.Name, d.Ports, b.SSCLogicW/1000, b.InternalIOW/1000,
-				b.ExternalIOW/1000, b.TotalW()/1000, fmt.Sprintf("%.0f%%", b.IOShare()*100))
+	exts := []tech.ExternalIO{tech.SerDes, tech.OpticalIO, tech.AreaIOTech}
+	rows := make([][]interface{}, len(sides)*len(exts))
+	err := o.pool().Each(id, len(rows), func(idx int) error {
+		side, ext := sides[idx/len(exts)], exts[idx%len(exts)]
+		r, err := core.MaxPorts(baseParams(side, w, ext, o), core.NoPower)
+		if err != nil {
+			return err
 		}
+		d := r.Best
+		b := d.Power
+		rows[idx] = []interface{}{side, ext.Name, d.Ports, b.SSCLogicW / 1000, b.InternalIOW / 1000,
+			b.ExternalIOW / 1000, b.TotalW() / 1000, fmt.Sprintf("%.0f%%", b.IOShare()*100)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return t, nil
 }
@@ -320,20 +352,31 @@ func deradixTable(id, title string, w tech.WSI, o Options) (*Table, error) {
 		Headers: []string{"substrate (mm)", "SSC radix 256", "SSC radix 128", "SSC radix 64"},
 	}
 	chip := ssc.MustTH5(200)
-	for _, side := range o.substrates() {
+	sides := o.substrates()
+	factors := []int{1, 2, 4}
+	ports := make([]int, len(sides)*len(factors))
+	err := o.pool().Each(id, len(ports), func(idx int) error {
+		side, factor := sides[idx/len(factors)], factors[idx%len(factors)]
+		c, err := chip.Deradix(factor)
+		if err != nil {
+			return err
+		}
+		p := baseParams(side, w, tech.OpticalIO, o)
+		p.Chiplet = c
+		r, err := core.MaxPorts(p, core.NoPower)
+		if err != nil {
+			return err
+		}
+		ports[idx] = r.Best.Ports
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, side := range sides {
 		row := []interface{}{side}
-		for _, factor := range []int{1, 2, 4} {
-			c, err := chip.Deradix(factor)
-			if err != nil {
-				return nil, err
-			}
-			p := baseParams(side, w, tech.OpticalIO, o)
-			p.Chiplet = c
-			r, err := core.MaxPorts(p, core.NoPower)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, r.Best.Ports)
+		for fi := range factors {
+			row = append(row, ports[si*len(factors)+fi])
 		}
 		t.AddRow(row...)
 	}

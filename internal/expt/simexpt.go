@@ -75,33 +75,27 @@ func (o Options) baselineConfig(warm, measure int, numVCs, buf, pkt int) sim.Con
 	}
 }
 
-// sweepAttach attaches the raw stats of a sweep series (and, with probes
-// enabled, per-point probe snapshots) plus its summary to the table
-// under the given series name.
-func sweepAttach(t *Table, o Options, series string, stats []sim.Stats, probes []sim.SweepPoint) {
+// sweepAttach attaches the raw stats of a sweep series plus its summary
+// to the table under the given series name; with probes enabled it also
+// attaches the per-point probe snapshots and the merged-across-points
+// aggregate.
+func sweepAttach(t *Table, o Options, series string, res *sim.SweepResult) {
+	stats := res.Stats()
 	t.Attach(series+"_stats", stats)
 	t.Attach(series+"_summary", sim.Summarize(stats))
-	if o.Probe && probes != nil {
-		t.Attach(series+"_probes", probes)
+	if o.Probe {
+		t.Attach(series+"_probes", res.Points)
+		if res.Aggregate != nil {
+			t.Attach(series+"_aggregate", res.Aggregate)
+		}
 	}
 }
 
-// runSweep executes one load sweep, with probes when o.Probe is set. The
-// returned points are nil when probes are disabled.
-func runSweep(o Options, build sim.Builder, injf sim.InjectorFactory, loads []float64) ([]sim.Stats, []sim.SweepPoint, error) {
-	if !o.Probe {
-		stats, err := sim.LatencyVsLoad(build, injf, loads)
-		return stats, nil, err
-	}
-	pts, err := sim.LatencyVsLoadProbed(build, injf, loads)
-	if err != nil {
-		return nil, nil, err
-	}
-	stats := make([]sim.Stats, len(pts))
-	for i := range pts {
-		stats[i] = pts[i].Stats
-	}
-	return stats, pts, nil
+// runSweep executes one load sweep through the parallel sweep engine,
+// fanning load points across o.Workers goroutines, with probes when
+// o.Probe is set.
+func runSweep(o Options, build sim.Builder, injf sim.InjectorFactory, loads []float64) (*sim.SweepResult, error) {
+	return sim.Sweep(build, injf, loads, sim.SweepOptions{Workers: o.Workers, Probe: o.Probe, Ctx: o.context()})
 }
 
 // fig21 reproduces the buffer-sizing study: saturation throughput vs
@@ -134,16 +128,27 @@ func fig21(o Options) (*Table, error) {
 	if o.Quick {
 		loads = []float64{0.5, 0.9}
 	}
-	for _, buf := range buffers {
+	// The buffers x latencies grid is embarrassingly parallel: fan cells
+	// across the pool into index slots, then emit rows serially.
+	sats := make([]float64, len(buffers)*len(lats))
+	err = o.pool().Each("fig21", len(sats), func(idx int) error {
+		buf, lat := buffers[idx/len(lats)], lats[idx%len(lats)]
+		cfg := o.waferscaleConfig(warm, measure, 8, buf, 4)
+		build := func() (*sim.Network, error) { return sim.Build(cl, sim.ConstantLatency(lat), cfg) }
+		stats, err := sim.LatencyVsLoad(build, sim.SyntheticInjector(traffic.Uniform(ports), 4), loads)
+		if err != nil {
+			return err
+		}
+		sats[idx] = sim.SaturationThroughput(stats)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for bi, buf := range buffers {
 		row := []interface{}{buf}
-		for _, lat := range lats {
-			cfg := o.waferscaleConfig(warm, measure, 8, buf, 4)
-			build := func() (*sim.Network, error) { return sim.Build(cl, sim.ConstantLatency(lat), cfg) }
-			stats, err := sim.LatencyVsLoad(build, sim.SyntheticInjector(traffic.Uniform(ports), 4), loads)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, sim.SaturationThroughput(stats))
+		for li := range lats {
+			row = append(row, sats[bi*len(lats)+li])
 		}
 		t.AddRow(row...)
 	}
@@ -179,20 +184,21 @@ func fig22(o Options) (*Table, error) {
 	prop := base
 	prop.RCIngress, prop.RCOther = 2, 1
 	injf := sim.SyntheticInjector(traffic.Uniform(ports), 4)
-	sBase, pBase, err := runSweep(o, func() (*sim.Network, error) { return sim.Build(cl, sim.ConstantLatency(1), base) }, injf, o.simLoads())
+	rBase, err := runSweep(o, func() (*sim.Network, error) { return sim.Build(cl, sim.ConstantLatency(1), base) }, injf, o.simLoads())
 	if err != nil {
 		return nil, err
 	}
-	sProp, pProp, err := runSweep(o, func() (*sim.Network, error) { return sim.Build(cl, sim.ConstantLatency(1), prop) }, injf, o.simLoads())
+	rProp, err := runSweep(o, func() (*sim.Network, error) { return sim.Build(cl, sim.ConstantLatency(1), prop) }, injf, o.simLoads())
 	if err != nil {
 		return nil, err
 	}
+	sBase, sProp := rBase.Stats(), rProp.Stats()
 	for i := range sBase {
 		t.AddRow(sBase[i].Offered, sBase[i].AvgLatency, sProp[i].AvgLatency,
 			sBase[i].Accepted, sProp[i].Accepted)
 	}
-	sweepAttach(t, o, "baseline", sBase, pBase)
-	sweepAttach(t, o, "proprietary", sProp, pProp)
+	sweepAttach(t, o, "baseline", rBase)
+	sweepAttach(t, o, "proprietary", rProp)
 	satB, satP := sim.SaturationThroughput(sBase), sim.SaturationThroughput(sProp)
 	t.Notes = append(t.Notes, fmt.Sprintf("saturation throughput: baseline %.3f, proprietary %.3f (%+.1f%%) — paper reports +11%% to +14.5%%",
 		satB, satP, (satP/satB-1)*100))
@@ -238,21 +244,21 @@ func fig23(o Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		wsStats, wsPts, err := runSweep(o, wsBuild, injf, o.simLoads())
+		wsRes, err := runSweep(o, wsBuild, injf, o.simLoads())
 		if err != nil {
 			return nil, err
 		}
-		netStats, netPts, err := runSweep(o, netBuild, injf, o.simLoads())
+		netRes, err := runSweep(o, netBuild, injf, o.simLoads())
 		if err != nil {
 			return nil, err
 		}
 		if pat.Name == "uniform" {
 			wsZeroUniform, netZeroUniform = wsZL, netZL
 		}
-		sweepAttach(t, o, "waferscale_"+pat.Name, wsStats, wsPts)
-		sweepAttach(t, o, "network_"+pat.Name, netStats, netPts)
+		sweepAttach(t, o, "waferscale_"+pat.Name, wsRes)
+		sweepAttach(t, o, "network_"+pat.Name, netRes)
 		t.AddRow(pat.Name, wsZL, netZL,
-			sim.SaturationThroughput(wsStats), sim.SaturationThroughput(netStats))
+			sim.SaturationThroughput(wsRes.Stats()), sim.SaturationThroughput(netRes.Stats()))
 	}
 	if netZeroUniform > 0 {
 		t.Notes = append(t.Notes, fmt.Sprintf("zero-load latency: %.0f vs %.0f cycles (%.0f%% lower) — paper reports 37 vs 60 cycles (38%% lower)",
@@ -290,17 +296,17 @@ func fig24(o Options) (*Table, error) {
 	netCfg := o.baselineConfig(warm, measure, 16, 24, 4)
 	for _, trc := range traces {
 		injf := sim.TraceInjectorFactory(trc)
-		wsStats, wsPts, err := runSweep(o, func() (*sim.Network, error) { return sim.Build(cl, sim.ConstantLatency(1), wsCfg) }, injf, o.simLoads())
+		wsRes, err := runSweep(o, func() (*sim.Network, error) { return sim.Build(cl, sim.ConstantLatency(1), wsCfg) }, injf, o.simLoads())
 		if err != nil {
 			return nil, err
 		}
-		netStats, netPts, err := runSweep(o, func() (*sim.Network, error) { return sim.Build(cl, sim.ConstantLatency(8), netCfg) }, injf, o.simLoads())
+		netRes, err := runSweep(o, func() (*sim.Network, error) { return sim.Build(cl, sim.ConstantLatency(8), netCfg) }, injf, o.simLoads())
 		if err != nil {
 			return nil, err
 		}
-		sweepAttach(t, o, "waferscale_"+trc.Name, wsStats, wsPts)
-		sweepAttach(t, o, "network_"+trc.Name, netStats, netPts)
-		ws, net := sim.SaturationThroughput(wsStats), sim.SaturationThroughput(netStats)
+		sweepAttach(t, o, "waferscale_"+trc.Name, wsRes)
+		sweepAttach(t, o, "network_"+trc.Name, netRes)
+		ws, net := sim.SaturationThroughput(wsRes.Stats()), sim.SaturationThroughput(netRes.Stats())
 		gain := "-"
 		if net > 0 {
 			gain = fmt.Sprintf("%+.1f%%", (ws/net-1)*100)

@@ -5,8 +5,10 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -114,6 +116,27 @@ type Options struct {
 	// experiments and attaches their snapshots to the result tables
 	// (wsswitch -json). Costs a few percent of simulation throughput.
 	Probe bool
+	// Workers bounds the goroutines experiments fan their independent
+	// simulation points across (load sweeps via sim.Sweep, grids and
+	// fabric comparisons via Pool): 0 means one per CPU (GOMAXPROCS),
+	// 1 runs everything serially. Results are bit-identical for every
+	// value — each point derives its own seed and reductions happen in
+	// point order after the barrier.
+	Workers int
+
+	// ctx carries the experiment's pprof label context, set by Run, so
+	// worker goroutines add their worker/point labels to the experiment
+	// label instead of replacing it.
+	ctx context.Context
+}
+
+func (o Options) pool() Pool { return Pool{Workers: o.Workers, ctx: o.ctx} }
+
+func (o Options) context() context.Context {
+	if o.ctx != nil {
+		return o.ctx
+	}
+	return context.Background()
 }
 
 func (o Options) seed() int64 {
@@ -151,9 +174,18 @@ func Run(id string, o Options) (*Table, error) {
 	var start time.Time
 	if o.Logger != nil {
 		start = time.Now()
-		o.Logger.Info("expt.start", "id", id, "quick", o.Quick, "seed", o.seed(), "probe", o.Probe)
+		o.Logger.Info("expt.start", "id", id, "quick", o.Quick, "seed", o.seed(),
+			"probe", o.Probe, "workers", o.Workers)
 	}
-	t, err := r(o)
+	var t *Table
+	var err error
+	// Label the whole experiment so -cpuprofile output groups samples by
+	// experiment id (worker/point labels nest inside; see Pool.Each).
+	pprof.Do(context.Background(), pprof.Labels("experiment", id),
+		func(ctx context.Context) {
+			o.ctx = ctx
+			t, err = r(o)
+		})
 	if err != nil {
 		if o.Logger != nil {
 			o.Logger.Error("expt.failed", "id", id, "err", err)

@@ -90,6 +90,40 @@ func (c *Collector) Reset() {
 	}
 }
 
+// Merge folds o's counters into c: additive counters (flits, stalls,
+// cycles, occupancy integrals) add, peaks take the maximum. Both
+// collectors must be sized for the same network. Channel metadata is
+// kept from c (it is identical by construction when both collectors
+// observed the same topology). This is the reduction step the parallel
+// sweep engine uses to combine per-worker collectors after the barrier.
+func (c *Collector) Merge(o *Collector) error {
+	if o == nil {
+		return nil
+	}
+	if len(o.Routers) != len(c.Routers) || len(o.Channels) != len(c.Channels) {
+		return fmt.Errorf("obs: merging collector sized %dx%d into %dx%d routers x channels",
+			len(o.Routers), len(o.Channels), len(c.Routers), len(c.Channels))
+	}
+	c.Cycles += o.Cycles
+	c.Injected += o.Injected
+	c.Ejected += o.Ejected
+	for i := range c.Routers {
+		r, or := &c.Routers[i], &o.Routers[i]
+		r.Flits += or.Flits
+		r.VAStalls += or.VAStalls
+		r.SAStalls += or.SAStalls
+		r.CreditStalls += or.CreditStalls
+		r.OccSum += or.OccSum
+		if or.OccPeak > r.OccPeak {
+			r.OccPeak = or.OccPeak
+		}
+	}
+	for i := range c.Channels {
+		c.Channels[i].Flits += o.Channels[i].Flits
+	}
+	return nil
+}
+
 // RoutedFlits returns the total flits forwarded across all routers (each
 // flit counts once per hop).
 func (c *Collector) RoutedFlits() int64 {

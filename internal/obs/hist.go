@@ -145,6 +145,30 @@ func (h *Histogram) Reset() {
 	*h = Histogram{}
 }
 
+// Merge folds o's samples into h. Because both histograms share the same
+// fixed bucket layout, merging is an exact bucket-count addition: the
+// merged histogram is indistinguishable from one that observed the union
+// of both sample streams, so percentiles of the merge equal percentiles
+// of the union (within the usual ≤3.1% bucket quantization). This is the
+// reduction step the parallel sweep engine uses to combine per-worker
+// histograms after the barrier.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	if h.n == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+	h.n += o.n
+	h.sum += o.sum
+}
+
 // HistBucket is one non-empty bucket in a snapshot: all samples in
 // [Lo, Hi] with the given count.
 type HistBucket struct {

@@ -40,7 +40,6 @@ type Network struct {
 
 	numPorts []int32
 	rcOfIn   []int32 // per input port: RC delay (ingress vs non-ingress)
-	saRR     []int32 // per-router rotating input priority
 	saVCRR   []int32 // per input port: rotating VC priority
 
 	vcs    []vcState // (r*maxP+p)*V + v
@@ -48,7 +47,22 @@ type Network struct {
 	feedCh []int32   // channel feeding input port, -1 if terminal/unused
 	outs   []outState
 
+	// routerOcc[r] is the total buffered flits across r's input ports.
+	// The pipeline loops skip routers at zero — at low and mid load most
+	// routers are idle most cycles, and an idle router cannot route,
+	// allocate, or forward anything.
+	routerOcc []int32
+
 	channels []channel
+
+	// Active-channel worklist: arrivals visits only channels with
+	// undelivered flit or credit events instead of scanning every ring
+	// every cycle. chanEvents counts pending events per channel; channels
+	// with events sit on chanActive (order irrelevant — see arrivals);
+	// chanInList dedupes membership.
+	chanEvents []int32
+	chanActive []int32
+	chanInList []bool
 
 	termChIn []int32 // terminal -> its injection channel
 
@@ -130,23 +144,23 @@ func Build(t *topo.Topology, lat LinkLatency, cfg Config) (*Network, error) {
 	T := t.ExternalPorts()
 
 	n := &Network{
-		cfg:      cfg,
-		R:        R,
-		V:        cfg.NumVCs,
-		maxP:     maxP,
-		T:        T,
-		numPorts: numPorts,
-		rcOfIn:   make([]int32, R*maxP),
-		saRR:     make([]int32, R),
-		saVCRR:   make([]int32, R*maxP),
-		vcs:      make([]vcState, R*maxP*cfg.NumVCs),
-		inOcc:    make([]int32, R*maxP),
-		feedCh:   make([]int32, R*maxP),
-		outs:     make([]outState, R*maxP),
-		saWinner: make([]int32, maxP),
-		saStamp:  make([]int64, maxP),
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		logger:   cfg.Logger,
+		cfg:       cfg,
+		R:         R,
+		V:         cfg.NumVCs,
+		maxP:      maxP,
+		T:         T,
+		numPorts:  numPorts,
+		rcOfIn:    make([]int32, R*maxP),
+		saVCRR:    make([]int32, R*maxP),
+		vcs:       make([]vcState, R*maxP*cfg.NumVCs),
+		inOcc:     make([]int32, R*maxP),
+		routerOcc: make([]int32, R),
+		feedCh:    make([]int32, R*maxP),
+		outs:      make([]outState, R*maxP),
+		saWinner:  make([]int32, maxP),
+		saStamp:   make([]int64, maxP),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		logger:    cfg.Logger,
 	}
 	for i := range n.feedCh {
 		n.feedCh[i] = -1
@@ -219,10 +233,42 @@ func Build(t *topo.Topology, lat LinkLatency, cfg Config) (*Network, error) {
 		}
 	}
 
+	// Worklist storage. chanActive can never exceed the channel count
+	// (chanInList dedupes), so reserving full capacity keeps wakeChan
+	// allocation-free forever.
+	n.chanEvents = make([]int32, len(n.channels))
+	n.chanActive = make([]int32, 0, len(n.channels))
+	n.chanInList = make([]bool, len(n.channels))
+
+	// One contiguous flit arena backs every VC queue. Credit-based flow
+	// control bounds a port's buffered flits by BufPerPort, so no single
+	// VC queue can outgrow a BufPerPort window: each VC gets a
+	// zero-length, full-capacity slice of the arena and the steady-state
+	// loop never grows a queue. The whole buffer pool is one allocation
+	// instead of one per VC.
+	slab := make([]flit, len(n.vcs)*cfg.BufPerPort)
+	for i := range n.vcs {
+		off := i * cfg.BufPerPort
+		n.vcs[i].q = slab[off : off : off+cfg.BufPerPort]
+	}
+
 	if err := n.buildRoutes(t); err != nil {
 		return nil, err
 	}
 	return n, nil
+}
+
+// BaseSeed returns the seed the network was built (or last reseeded)
+// with.
+func (n *Network) BaseSeed() int64 { return n.cfg.Seed }
+
+// Reseed replaces the network's RNG with one seeded by seed. Call it
+// before Run; the sweep engine uses it to give every point a seed
+// derived from the base seed and the point index (see PointSeed), so
+// parallel and serial sweeps draw identical random streams.
+func (n *Network) Reseed(seed int64) {
+	n.cfg.Seed = seed
+	n.rng = rand.New(rand.NewSource(seed))
 }
 
 func newOwner(v int) []int32 {

@@ -67,6 +67,11 @@ func (n *Network) Snapshot() *obs.Snapshot {
 	return s
 }
 
+// LatencyHistogram returns a copy of the run's packet-latency histogram
+// (a fixed-size value, so this is a flat copy). The sweep engine merges
+// these across points into the aggregate latency distribution.
+func (n *Network) LatencyHistogram() obs.Histogram { return n.latHist }
+
 // BufferedFlits counts flits currently held in input-VC buffers plus
 // flits in flight on channel rings — the residual that closes the
 // conservation equation Injected == Ejected + BufferedFlits at any cycle

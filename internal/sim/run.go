@@ -169,14 +169,11 @@ func (n *Network) step(inj Injector) {
 
 // recordOccupancy accumulates per-router buffer occupancy into the
 // attached collector, once per cycle. Only runs with a probe attached.
+// routerOcc is exactly the per-port sum the dense loop used to compute.
 func (n *Network) recordOccupancy() {
 	n.probe.Cycles++
 	for r := 0; r < n.R; r++ {
-		base := r * n.maxP
-		var occ int64
-		for p := 0; p < int(n.numPorts[r]); p++ {
-			occ += int64(n.inOcc[base+p])
-		}
+		occ := int64(n.routerOcc[r])
 		rc := &n.probe.Routers[r]
 		rc.OccSum += occ
 		if occ > rc.OccPeak {
@@ -185,16 +182,35 @@ func (n *Network) recordOccupancy() {
 	}
 }
 
-// arrivals delivers flits and credits whose channel latency elapsed.
+// wakeChan records one new flit or credit event on channel ci, putting
+// it on the arrivals worklist if it was idle. Every producer (forward,
+// inject) must pair each ring or credit-slot write with a wake.
+func (n *Network) wakeChan(ci int32) {
+	n.chanEvents[ci]++
+	if !n.chanInList[ci] {
+		n.chanInList[ci] = true
+		n.chanActive = append(n.chanActive, ci)
+	}
+}
+
+// arrivals delivers flits and credits whose channel latency elapsed,
+// visiting only channels with undelivered events. Worklist order cannot
+// affect results: each channel feeds exactly one input port (disjoint VC
+// queues) and credits exactly one output port or terminal, so arrivals
+// on distinct channels commute. Channels drop off the list via
+// swap-remove the cycle their last pending event is consumed.
 func (n *Network) arrivals() {
-	for ci := range n.channels {
+	for i := 0; i < len(n.chanActive); {
+		ci := n.chanActive[i]
 		c := &n.channels[ci]
 		slot := n.now % int64(c.lat)
 		if ev := &c.ring[slot]; ev.valid {
-			gi := (int(c.dstRouter)*n.maxP+int(c.dstPort))*n.V + int(ev.vc)
-			n.vcs[gi].push(ev.f)
-			n.inOcc[int(c.dstRouter)*n.maxP+int(c.dstPort)]++
+			in := int(c.dstRouter)*n.maxP + int(c.dstPort)
+			n.vcs[in*n.V+int(ev.vc)].push(ev.f)
+			n.inOcc[in]++
+			n.routerOcc[c.dstRouter]++
 			ev.valid = false
+			n.chanEvents[ci]--
 		}
 		if cr := c.credRing[slot]; cr != 0 {
 			if c.srcTerm >= 0 {
@@ -203,7 +219,16 @@ func (n *Network) arrivals() {
 				n.outs[int(c.srcRouter)*n.maxP+int(c.srcPort)].credits += cr
 			}
 			c.credRing[slot] = 0
+			n.chanEvents[ci]--
 		}
+		if n.chanEvents[ci] == 0 {
+			n.chanInList[ci] = false
+			last := len(n.chanActive) - 1
+			n.chanActive[i] = n.chanActive[last]
+			n.chanActive = n.chanActive[:last]
+			continue
+		}
+		i++
 	}
 }
 
@@ -212,6 +237,9 @@ func (n *Network) arrivals() {
 func (n *Network) routersRCVA() {
 	V := n.V
 	for r := 0; r < n.R; r++ {
+		if n.routerOcc[r] == 0 {
+			continue // nothing buffered, nothing to route or allocate
+		}
 		base := r * n.maxP
 		nP := int(n.numPorts[r])
 		for p := 0; p < nP; p++ {
@@ -277,13 +305,24 @@ func (n *Network) computeRoute(r int, vc *vcState) {
 func (n *Network) routersSA() {
 	V := n.V
 	for r := 0; r < n.R; r++ {
+		if n.routerOcc[r] == 0 {
+			continue // no buffered flits, so no VC can be vcActive
+		}
 		base := r * n.maxP
 		nP := int(n.numPorts[r])
 		n.saClock++
-		start := int(n.saRR[r]) % nP
-		n.saRR[r]++
+		// Rotating input priority. The dense loop kept a per-router
+		// counter incremented exactly once per cycle, so its value was
+		// always the cycle number; deriving the start port from the clock
+		// keeps the arbitration sequence bit-identical while letting idle
+		// routers be skipped without desynchronizing the rotation.
+		start := int(n.now % int64(nP))
+		granted := 0
 		for i := 0; i < nP; i++ {
-			p := (start + i) % nP
+			p := start + i
+			if p >= nP {
+				p -= nP
+			}
 			if n.inOcc[base+p] == 0 {
 				continue
 			}
@@ -311,13 +350,15 @@ func (n *Network) routersSA() {
 				n.saStamp[out] = n.saClock
 				n.saWinner[out] = int32(vbase + v)
 				n.saVCRR[base+p] = int32((v + 1) % V)
+				granted++
 				break // one grant per input port per cycle
 			}
 		}
-		for out := 0; out < nP; out++ {
+		for out := 0; granted > 0; out++ {
 			if n.saStamp[out] != n.saClock {
 				continue
 			}
+			granted--
 			n.forward(r, out, int(n.saWinner[out]))
 		}
 	}
@@ -330,9 +371,14 @@ func (n *Network) forward(r, out, winnerVC int) {
 	f := vc.pop()
 	inPort := winnerVC / n.V
 	n.inOcc[inPort]--
+	n.routerOcc[r]--
 	if ci := n.feedCh[inPort]; ci >= 0 {
 		c := &n.channels[ci]
-		c.credRing[n.now%int64(c.lat)]++
+		slot := n.now % int64(c.lat)
+		if c.credRing[slot] == 0 {
+			n.wakeChan(ci)
+		}
+		c.credRing[slot]++
 	}
 	if n.probe != nil {
 		n.probe.Routers[r].Flits++
@@ -341,6 +387,7 @@ func (n *Network) forward(r, out, winnerVC int) {
 	if o.ch >= 0 {
 		c := &n.channels[o.ch]
 		c.ring[n.now%int64(c.lat)] = flitEv{f: f, vc: vc.outVC, valid: true}
+		n.wakeChan(o.ch)
 		o.credits--
 		if n.probe != nil {
 			n.probe.Channels[o.ch].Flits++
@@ -416,6 +463,7 @@ func (n *Network) inject(inj Injector) {
 			vc:    int32(int(pkt) % n.V),
 			valid: true,
 		}
+		n.wakeChan(n.termChIn[t])
 		if n.probe != nil {
 			n.probe.Injected++
 			n.probe.Channels[n.termChIn[t]].Flits++

@@ -1,7 +1,13 @@
 package sim
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"waferswitch/internal/obs"
 	"waferswitch/internal/traffic"
@@ -33,24 +39,13 @@ func TraceInjectorFactory(tr *traffic.Trace) InjectorFactory {
 	}
 }
 
-// LatencyVsLoad runs the network at each offered load and returns the
-// stats per point — the raw data of the paper's load-latency figures
-// (Figs 22-24).
-func LatencyVsLoad(build Builder, injf InjectorFactory, loads []float64) ([]Stats, error) {
-	out := make([]Stats, 0, len(loads))
-	for _, load := range loads {
-		n, err := build()
-		if err != nil {
-			return nil, err
-		}
-		inj, err := injf(load)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, n.Run(inj, load))
-	}
-	return out, nil
-}
+// PointSeed derives the RNG seed for sweep point i from the base seed
+// the builder configured. The derivation is a plain offset so seeds stay
+// human-predictable, point 0 reproduces a single standalone run at the
+// base seed, and — because the seed depends only on (base, index), never
+// on which worker runs the point — parallel sweeps are bit-identical to
+// serial ones.
+func PointSeed(base int64, i int) int64 { return base + int64(i) }
 
 // SweepPoint couples one load point's stats with its probe snapshot.
 type SweepPoint struct {
@@ -58,28 +53,185 @@ type SweepPoint struct {
 	Probe *obs.Snapshot `json:"probe,omitempty"`
 }
 
+// SweepOptions configures a Sweep.
+type SweepOptions struct {
+	// Workers bounds the goroutines running sweep points: 0 means
+	// GOMAXPROCS, 1 runs serially on the calling goroutine's schedule.
+	// Results are identical for every value — each point's network is
+	// seeded by PointSeed and merged in point order after the barrier.
+	Workers int
+	// Probe attaches a fresh collector to every point, filling
+	// SweepPoint.Probe and SweepResult.Aggregate's counters.
+	Probe bool
+	// Ctx, when non-nil, is the parent context for the workers' pprof
+	// labels — pass a context carrying an experiment label and profile
+	// samples keep it alongside sweep_worker/sweep_point. It is used
+	// only for labeling; cancellation is not observed.
+	Ctx context.Context
+}
+
+// SweepResult is the outcome of a load sweep: per-point stats (and probe
+// snapshots when probing), plus the aggregate observability across all
+// points — per-worker histograms and collectors merged after the barrier
+// via obs.Histogram.Merge / obs.Collector.Merge.
+type SweepResult struct {
+	Points []SweepPoint `json:"points"`
+	// Aggregate holds the latency distribution over every measured
+	// packet of every point, plus summed router/channel counters when
+	// probing was enabled.
+	Aggregate *obs.Snapshot `json:"aggregate,omitempty"`
+}
+
+// Stats projects the per-point stats out of the result.
+func (r *SweepResult) Stats() []Stats {
+	out := make([]Stats, len(r.Points))
+	for i := range r.Points {
+		out[i] = r.Points[i].Stats
+	}
+	return out
+}
+
+// Sweep runs the network at each offered load, fanning points across a
+// bounded worker pool. Each point builds its own Network (reseeded with
+// PointSeed) and its own collector, so workers share nothing mutable;
+// build and injf must therefore be safe for concurrent use, which the
+// stock builders and injector factories are. Parallel workers carry
+// runtime/pprof labels (sweep_worker, sweep_point, plus whatever
+// opt.Ctx contributes) so CPU profiles attribute samples to individual
+// points; the one-worker path runs inline under the caller's labels.
+func Sweep(build Builder, injf InjectorFactory, loads []float64, opt SweepOptions) (*SweepResult, error) {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(loads) {
+		workers = len(loads)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	points := make([]SweepPoint, len(loads))
+	colls := make([]*obs.Collector, len(loads))
+	hists := make([]obs.Histogram, len(loads))
+	errs := make([]error, len(loads))
+
+	runPoint := func(i int) error {
+		n, err := build()
+		if err != nil {
+			return err
+		}
+		n.Reseed(PointSeed(n.BaseSeed(), i))
+		inj, err := injf(loads[i])
+		if err != nil {
+			return err
+		}
+		if opt.Probe {
+			if err := n.AttachProbe(n.NewProbe()); err != nil {
+				return err
+			}
+		}
+		st := n.Run(inj, loads[i])
+		points[i] = SweepPoint{Stats: st}
+		if opt.Probe {
+			points[i].Probe = n.Snapshot()
+			colls[i] = n.probe
+		}
+		hists[i] = n.LatencyHistogram()
+		return nil
+	}
+
+	if workers == 1 {
+		// Serial fast path: run inline on the calling goroutine, with no
+		// label scope of its own, so points inherit the caller's pprof
+		// labels (e.g. the expt/worker/point labels of a Pool cell this
+		// sweep nests inside) and profiles show no scheduling detour.
+		for i := range loads {
+			errs[i] = runPoint(i)
+		}
+	} else {
+		parent := opt.Ctx
+		if parent == nil {
+			parent = context.Background()
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(worker int) {
+				defer wg.Done()
+				pprof.Do(parent,
+					pprof.Labels("sweep_worker", strconv.Itoa(worker)),
+					func(ctx context.Context) {
+						for {
+							i := int(next.Add(1)) - 1
+							if i >= len(loads) {
+								return
+							}
+							pprof.Do(ctx,
+								pprof.Labels("sweep_point", strconv.Itoa(i)),
+								func(context.Context) { errs[i] = runPoint(i) })
+						}
+					})
+			}(w)
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Reduction. Always in ascending point order on this goroutine, so
+	// the merged result is independent of worker scheduling.
+	res := &SweepResult{Points: points}
+	var aggHist obs.Histogram
+	var agg *obs.Collector
+	for i := range loads {
+		aggHist.Merge(&hists[i])
+		if colls[i] == nil {
+			continue
+		}
+		if agg == nil {
+			agg = obs.NewCollector(len(colls[i].Routers), len(colls[i].Channels))
+			copy(agg.Meta, colls[i].Meta)
+		}
+		if err := agg.Merge(colls[i]); err != nil {
+			return nil, err
+		}
+	}
+	if agg != nil {
+		s := agg.Snapshot(8)
+		s.Latency = aggHist.Snapshot()
+		res.Aggregate = s
+	} else if aggHist.Count() > 0 {
+		res.Aggregate = &obs.Snapshot{Latency: aggHist.Snapshot()}
+	}
+	return res, nil
+}
+
+// LatencyVsLoad runs the network at each offered load and returns the
+// stats per point — the raw data of the paper's load-latency figures
+// (Figs 22-24). It is Sweep with one worker and no probe.
+func LatencyVsLoad(build Builder, injf InjectorFactory, loads []float64) ([]Stats, error) {
+	res, err := Sweep(build, injf, loads, SweepOptions{Workers: 1})
+	if err != nil {
+		return nil, err
+	}
+	return res.Stats(), nil
+}
+
 // LatencyVsLoadProbed is LatencyVsLoad with a fresh probe attached to
 // every run, returning per-point stats plus per-router/per-channel
 // counter snapshots and the latency histogram — the machine-readable
 // form behind wsswitch -json.
 func LatencyVsLoadProbed(build Builder, injf InjectorFactory, loads []float64) ([]SweepPoint, error) {
-	out := make([]SweepPoint, 0, len(loads))
-	for _, load := range loads {
-		n, err := build()
-		if err != nil {
-			return nil, err
-		}
-		inj, err := injf(load)
-		if err != nil {
-			return nil, err
-		}
-		if err := n.AttachProbe(n.NewProbe()); err != nil {
-			return nil, err
-		}
-		st := n.Run(inj, load)
-		out = append(out, SweepPoint{Stats: st, Probe: n.Snapshot()})
+	res, err := Sweep(build, injf, loads, SweepOptions{Workers: 1, Probe: true})
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return res.Points, nil
 }
 
 // SaturationThroughput extracts the saturation throughput from a load
