@@ -4,7 +4,12 @@
 
 GO ?= go
 
-.PHONY: all build test check vet fmt race bench bench-json
+# Minimum total -short test coverage (percent). 67.8% was the floor
+# before the verification layer landed; `make cover` fails below it so
+# coverage can only ratchet up.
+COVER_FLOOR ?= 67.8
+
+.PHONY: all build test check vet fmt race bench bench-json cover fuzz-smoke
 
 all: build test
 
@@ -14,9 +19,9 @@ build:
 test: build
 	$(GO) test ./...
 
-# check runs the static gates plus the race detector over the simulator
-# and the experiment harness (both spawn worker goroutines).
-check: vet fmt race
+# check runs the static gates, the race detector over the concurrent
+# packages, the differential-fuzz smoke runs, and the coverage floor.
+check: vet fmt race fuzz-smoke cover
 
 vet:
 	$(GO) vet ./...
@@ -32,6 +37,23 @@ fmt:
 race:
 	$(GO) test -race ./internal/sim/... ./internal/obs/...
 	$(GO) test -race -short ./internal/expt/...
+
+# fuzz-smoke gives each differential fuzz target a short budget on top
+# of the committed seed corpus: FuzzSimEquivalence diffs the optimized
+# simulator against internal/sim/refsim, FuzzSweepDeterminism diffs
+# parallel sweeps against serial ones. Failures print a replay spec for
+# `wsswitch -replay`.
+fuzz-smoke:
+	$(GO) test ./internal/sim/refsim -run NONE -fuzz 'FuzzSimEquivalence$$' -fuzztime 10s
+	$(GO) test ./internal/sim/refsim -run NONE -fuzz 'FuzzSweepDeterminism$$' -fuzztime 10s
+
+# cover enforces the total -short coverage floor (COVER_FLOOR).
+cover:
+	@$(GO) test -short -coverprofile=/tmp/wsswitch-cover.out ./... > /dev/null
+	@total=$$($(GO) tool cover -func=/tmp/wsswitch-cover.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t=$$total -v f=$(COVER_FLOOR) 'BEGIN { exit !(t+0 >= f+0) }' || \
+		{ echo "coverage $$total% fell below floor $(COVER_FLOOR)%"; exit 1; }
 
 bench:
 	$(GO) test -bench=. -benchmem -short ./...

@@ -18,6 +18,10 @@
 //	                           (samples carry experiment/worker/point
 //	                           pprof labels)
 //	wsswitch -memprofile f ... write a pprof heap profile after the run
+//	wsswitch -replay "spec"    re-run a differential-test case (as printed
+//	                           by a failing equivalence test or fuzz run)
+//	                           through the optimized and reference
+//	                           simulators and report agreement
 package main
 
 import (
@@ -30,6 +34,7 @@ import (
 	"runtime/pprof"
 
 	"waferswitch/internal/expt"
+	"waferswitch/internal/sim/refsim"
 )
 
 // jsonOutput is the top-level shape of `wsswitch -json`: the options the
@@ -64,9 +69,13 @@ func run() int {
 	workers := flag.Int("workers", 0, "worker goroutines for parallel sweeps (0 = GOMAXPROCS, 1 = serial)")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to `file`")
 	memprofile := flag.String("memprofile", "", "write heap profile to `file`")
+	replay := flag.String("replay", "", "re-run a differential-test `spec` (as printed by a failing equivalence test or fuzz run) through both simulators and report")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
+	if *replay != "" {
+		return runReplay(*replay)
+	}
 	if len(args) == 0 {
 		usage()
 		return 2
@@ -148,6 +157,29 @@ func run() int {
 	return 0
 }
 
+// runReplay re-runs a differential-test case from its printed spec
+// tuple: both simulators, full comparison, invariant checker on the
+// optimized run. Exit 0 when they agree, 1 on divergence or invariant
+// violation — so a fuzz finding reproduces outside the fuzzer with
+// nothing but the one-line spec.
+func runReplay(spec string) int {
+	s, err := refsim.ParseSpec(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wsswitch: %v\n", err)
+		return 2
+	}
+	rep, err := s.Diff()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wsswitch: replay: %v\n", err)
+		return 1
+	}
+	fmt.Print(rep.Summary())
+	if !rep.OK() {
+		return 1
+	}
+	return 0
+}
+
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: wsswitch [flags] <command>
 
@@ -163,6 +195,7 @@ examples:
   wsswitch -v -quick fig23          # watch simulation progress
   wsswitch -workers 1 fig22         # force serial execution (same results)
   wsswitch -cpuprofile cpu.out fig24
+  wsswitch -replay "family=clos size=0 pattern=uniform link=1 vcs=2 buf=8 pkt=2 rci=1 rco=1 pipe=1 term=1 warmup=50 measure=150 drain=0 seed=42 load=0.25"
 `)
 	flag.PrintDefaults()
 }

@@ -145,6 +145,19 @@ func (h *Histogram) Reset() {
 	*h = Histogram{}
 }
 
+// Equal reports whether two histograms observed identical sample
+// streams: same bucket counts, count, sum and extremes. Differential
+// tests use it to require bit-identical latency distributions from two
+// simulator implementations (the sum is a float, so equality holds only
+// when both observed the same samples in the same order — exactly the
+// determinism contract under test).
+func (h *Histogram) Equal(o *Histogram) bool {
+	if h == nil || o == nil {
+		return h == o
+	}
+	return *h == *o
+}
+
 // Merge folds o's samples into h. Because both histograms share the same
 // fixed bucket layout, merging is an exact bucket-count addition: the
 // merged histogram is indistinguishable from one that observed the union

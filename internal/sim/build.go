@@ -102,6 +102,13 @@ type Network struct {
 	// path, so a run without instrumentation pays only the branch.
 	probe  *obs.Collector
 	logger *slog.Logger
+
+	// Verification (see check.go): the invariant checker and the
+	// delivery log follow the probe contract — nil-checked on every
+	// event site, zero cost when disabled.
+	chk         *checker
+	recordDeliv bool
+	deliveries  []Delivery
 }
 
 // Build instantiates a simulable network from a logical topology. Every

@@ -1,0 +1,333 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CheckOptions configures the runtime invariant checker enabled by
+// Network.Check. The zero value is ready to use: every invariant is
+// verified every cycle and a 5000-cycle no-progress watchdog guards
+// against deadlock.
+type CheckOptions struct {
+	// Every is the checking cadence in cycles (default 1). The structural
+	// scans (conservation, credits, VC interleaving) cost O(network) per
+	// check; raising Every amortizes them on large fabrics. Event-driven
+	// checks (packet loss/duplication, progress tracking) always run.
+	Every int
+	// Watchdog is the number of cycles the network may hold buffered
+	// flits without forwarding, ejecting or injecting a single flit
+	// before the checker declares deadlock and dumps the stuck routers.
+	// 0 means the 5000-cycle default; negative disables the watchdog
+	// (useful for topologies routed without deadlock freedom, where a
+	// wormhole cycle is a property of the configuration, not a simulator
+	// bug).
+	Watchdog int
+	// MaxViolations caps the recorded violation messages (default 8);
+	// checking continues but further messages are counted, not stored.
+	MaxViolations int
+}
+
+const (
+	defaultWatchdog      = 5000
+	defaultMaxViolations = 8
+)
+
+// checker holds the runtime invariant state. All hot-path hooks hide
+// behind a single nil check on Network.chk, so a run without checking
+// pays one predicted branch per event site — the same contract as the
+// probe — and the steady-state loop stays at 0 allocs/op.
+type checker struct {
+	opt CheckOptions
+
+	injected  int64 // flits placed on terminal injection channels
+	delivered int64 // flits ejected through terminal sinks
+
+	lastProgress int64 // last cycle any flit was injected or forwarded
+	deadlocked   bool  // watchdog already fired (report once)
+
+	// Per-packet-table-entry accounting for loss/duplication: live marks
+	// ids between allocPacket and completePacket, ejected counts tail
+	// ejections per id.
+	live    []bool
+	ejected []int32
+
+	violations []string
+	dropped    int // violations beyond MaxViolations
+}
+
+// Check enables the runtime invariant checker for this network's run.
+// Call it before Run. The checker asserts, per cycle (at the configured
+// cadence):
+//
+//   - flit conservation: flits injected == flits delivered + flits
+//     in-flight (buffered in input VCs or on channel rings);
+//   - credit conservation: for every channel, upstream credits + flits
+//     on the ring + downstream buffered flits + credits in flight ==
+//     BufPerPort;
+//   - per-VC packet integrity: flits of distinct packets never
+//     interleave inside an input VC FIFO (tail before next head);
+//   - no packet loss or duplication: every packet-table entry ejects
+//     exactly Size flits between allocation and completion, and no
+//     freed entry ejects flits;
+//   - progress: if flits stay buffered with no movement for Watchdog
+//     cycles, the checker records a deadlock with a dump of the stuck
+//     routers and VCs.
+//
+// Violations do not stop the run (checking is observational, so a
+// checked run produces bit-identical Stats); read them afterwards with
+// CheckErr or CheckViolations.
+func (n *Network) Check(opt CheckOptions) error {
+	if opt.Every < 0 {
+		return fmt.Errorf("sim: CheckOptions.Every = %d", opt.Every)
+	}
+	if opt.Every == 0 {
+		opt.Every = 1
+	}
+	if opt.Watchdog == 0 {
+		opt.Watchdog = defaultWatchdog
+	}
+	if opt.MaxViolations <= 0 {
+		opt.MaxViolations = defaultMaxViolations
+	}
+	n.chk = &checker{opt: opt, lastProgress: n.now}
+	return nil
+}
+
+// CheckViolations returns the invariant violations recorded so far (nil
+// when the checker is disabled or the run is clean).
+func (n *Network) CheckViolations() []string {
+	if n.chk == nil {
+		return nil
+	}
+	return n.chk.violations
+}
+
+// CheckErr returns nil when no invariant was violated, or an error
+// aggregating the recorded violations.
+func (n *Network) CheckErr() error {
+	if n.chk == nil || len(n.chk.violations) == 0 {
+		return nil
+	}
+	total := len(n.chk.violations) + n.chk.dropped
+	return fmt.Errorf("sim: %d invariant violation(s):\n%s",
+		total, strings.Join(n.chk.violations, "\n"))
+}
+
+func (c *checker) violatef(format string, args ...any) {
+	if len(c.violations) >= c.opt.MaxViolations {
+		c.dropped++
+		return
+	}
+	c.violations = append(c.violations, fmt.Sprintf(format, args...))
+}
+
+// noteAlloc tracks a packet-table allocation. Growth mirrors the packet
+// table, so ids map one-to-one.
+func (c *checker) noteAlloc(pkt int32, now int64) {
+	for int(pkt) >= len(c.live) {
+		c.live = append(c.live, false)
+		c.ejected = append(c.ejected, 0)
+	}
+	if c.live[pkt] {
+		c.violatef("cycle %d: packet table corruption: id %d reallocated while live", now, pkt)
+	}
+	c.live[pkt] = true
+	c.ejected[pkt] = 0
+}
+
+// noteInject records one flit entering a terminal injection channel.
+func (c *checker) noteInject(now int64) {
+	c.injected++
+	c.lastProgress = now
+}
+
+// noteForward records one flit leaving an input VC: progress always,
+// plus delivery accounting when the flit ejects at a terminal sink.
+func (c *checker) noteForward(now int64, f flit, ejected bool) {
+	c.lastProgress = now
+	if !ejected {
+		return
+	}
+	c.delivered++
+	if int(f.pkt) >= len(c.live) || !c.live[f.pkt] {
+		c.violatef("cycle %d: flit of dead packet id %d ejected (loss/duplication)", now, f.pkt)
+		return
+	}
+	c.ejected[f.pkt]++
+}
+
+// noteComplete verifies the completing packet ejected exactly its size
+// in flits, then retires its id.
+func (c *checker) noteComplete(pkt int32, pi *packetInfo, now int64) {
+	if int(pkt) >= len(c.live) || !c.live[pkt] {
+		return // already reported by noteForward
+	}
+	if c.ejected[pkt] != pi.size {
+		c.violatef("cycle %d: packet %d (src %d dst %d) completed after ejecting %d of %d flits",
+			now, pkt, pi.src, pi.dst, c.ejected[pkt], pi.size)
+	}
+	c.live[pkt] = false
+}
+
+// endCycle runs the structural scans at the configured cadence. It runs
+// at the end of step, a cycle boundary where every conservation sum is
+// settled.
+func (c *checker) endCycle(n *Network) {
+	if n.now%int64(c.opt.Every) == 0 {
+		c.checkConservation(n)
+		c.checkCredits(n)
+		c.checkVCIntegrity(n)
+	}
+	c.checkProgress(n)
+}
+
+// checkConservation asserts injected == delivered + in-flight. The
+// in-flight count is recomputed from scratch (input-VC occupancy plus
+// channel-ring occupancy), so a drifted counter anywhere shows up here.
+func (c *checker) checkConservation(n *Network) {
+	inFlight := n.BufferedFlits()
+	if c.injected != c.delivered+inFlight {
+		c.violatef("cycle %d: flit conservation broken: injected %d != delivered %d + in-flight %d",
+			n.now, c.injected, c.delivered, inFlight)
+	}
+}
+
+// checkCredits asserts, per channel, that upstream credits plus flits on
+// the ring plus downstream buffered flits plus credits in flight equal
+// the downstream port's buffer depth. Terminal sinks (infinite-credit
+// ejection ports) have no channel and are exempt by construction.
+func (c *checker) checkCredits(n *Network) {
+	depth := int64(n.cfg.BufPerPort)
+	for ci := range n.channels {
+		ch := &n.channels[ci]
+		var onRing, credInFlight int64
+		for si := range ch.ring {
+			if ch.ring[si].valid {
+				onRing++
+			}
+			credInFlight += int64(ch.credRing[si])
+		}
+		var upstream int64
+		if ch.srcTerm >= 0 {
+			upstream = int64(n.srcCredit[ch.srcTerm])
+		} else {
+			upstream = int64(n.outs[int(ch.srcRouter)*n.maxP+int(ch.srcPort)].credits)
+		}
+		buffered := int64(n.inOcc[int(ch.dstRouter)*n.maxP+int(ch.dstPort)])
+		if got := upstream + onRing + buffered + credInFlight; got != depth {
+			c.violatef("cycle %d: credit conservation broken on channel %d (->r%d.p%d): credits %d + ring %d + buffered %d + cred-in-flight %d = %d, want %d",
+				n.now, ci, ch.dstRouter, ch.dstPort, upstream, onRing, buffered, credInFlight, got, depth)
+			return // one report per scan; the rest are usually the same fault
+		}
+	}
+}
+
+// checkVCIntegrity asserts wormhole packet integrity inside every input
+// VC FIFO: once a packet's head flit occupies a VC, every following flit
+// up to the tail belongs to the same packet (per-VC in-order delivery is
+// then FIFO order by construction).
+func (c *checker) checkVCIntegrity(n *Network) {
+	for vi := range n.vcs {
+		vc := &n.vcs[vi]
+		inPkt := int32(-1)
+		for i := vc.head; i < int32(len(vc.q)); i++ {
+			f := vc.q[i]
+			if inPkt >= 0 && f.pkt != inPkt {
+				c.violatef("cycle %d: VC %d interleaves packets %d and %d", n.now, vi, inPkt, f.pkt)
+				return
+			}
+			if f.last {
+				inPkt = -1
+			} else {
+				inPkt = f.pkt
+			}
+		}
+	}
+}
+
+// checkProgress fires the no-progress watchdog: buffered flits with no
+// flit movement for Watchdog cycles means the network can no longer
+// drain (deadlock, or a starvation bug in allocation).
+func (c *checker) checkProgress(n *Network) {
+	if c.opt.Watchdog < 0 || c.deadlocked {
+		return
+	}
+	if n.now-c.lastProgress <= int64(c.opt.Watchdog) {
+		return
+	}
+	var buffered int64
+	for r := 0; r < n.R; r++ {
+		buffered += int64(n.routerOcc[r])
+	}
+	if buffered == 0 {
+		c.lastProgress = n.now // idle network, nothing owed
+		return
+	}
+	c.deadlocked = true
+	c.violatef("cycle %d: no progress for %d cycles with %d flits buffered: deadlock\n%s",
+		n.now, n.now-c.lastProgress, buffered, c.deadlockDump(n))
+}
+
+// deadlockDump renders the stuck state: for each router still holding
+// flits, the non-empty VCs with their pipeline state and the credit
+// level of their requested output.
+func (c *checker) deadlockDump(n *Network) string {
+	var b strings.Builder
+	const maxRouters = 8
+	dumped := 0
+	stateName := [...]string{"idle", "routing", "vcalloc", "active"}
+	for r := 0; r < n.R && dumped < maxRouters; r++ {
+		if n.routerOcc[r] == 0 {
+			continue
+		}
+		dumped++
+		fmt.Fprintf(&b, "  router %d (%d flits buffered):\n", r, n.routerOcc[r])
+		base := r * n.maxP
+		for p := 0; p < int(n.numPorts[r]); p++ {
+			for v := 0; v < n.V; v++ {
+				vc := &n.vcs[(base+p)*n.V+v]
+				if vc.empty() {
+					continue
+				}
+				line := fmt.Sprintf("    port %d vc %d: %d flits, state %s",
+					p, v, int32(len(vc.q))-vc.head, stateName[vc.state])
+				if vc.state == vcActive || vc.state == vcVCAlloc {
+					line += fmt.Sprintf(", out port %d", vc.outPort)
+					if vc.state == vcActive {
+						line += fmt.Sprintf(" vc %d (credits %d)", vc.outVC, n.outs[base+int(vc.outPort)].credits)
+					}
+				}
+				b.WriteString(line + "\n")
+			}
+		}
+	}
+	if dumped == maxRouters {
+		b.WriteString("  ... (more routers stuck)\n")
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// Delivery records one delivered packet: the differential-testing unit
+// the reference simulator is compared against. Two simulators agree when
+// their delivery multisets are identical.
+type Delivery struct {
+	Src, Dst int32
+	Size     int32
+	Born     int64 // cycle the packet was generated
+	Done     int64 // cycle the tail flit ejected
+	Measured bool
+}
+
+// RecordDeliveries makes the network append a Delivery per completed
+// packet (measured or not). Call before Run; read with Deliveries.
+// Recording allocates, so it is for verification runs, not benchmarks.
+func (n *Network) RecordDeliveries() {
+	n.recordDeliv = true
+	if n.deliveries == nil {
+		n.deliveries = make([]Delivery, 0, 1024)
+	}
+}
+
+// Deliveries returns the packets delivered so far, in completion order.
+func (n *Network) Deliveries() []Delivery { return n.deliveries }

@@ -1,0 +1,332 @@
+package sim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"waferswitch/internal/ssc"
+	"waferswitch/internal/topo"
+	"waferswitch/internal/traffic"
+)
+
+// silentInjector never generates traffic; checker fault-injection tests
+// use it so the only activity in the network is the corruption planted
+// by the test.
+type silentInjector struct{}
+
+func (silentInjector) Generate(int, int64, *rand.Rand) (int, int, bool) { return 0, 0, false }
+
+// TestCheckerCleanRun: the checker must stay silent across a healthy
+// run at moderate load — the primary regression pin that the optimized
+// simulator satisfies its own conservation laws on the stock Clos.
+func TestCheckerCleanRun(t *testing.T) {
+	cl := testClos(t)
+	cfg := testConfig()
+	n, err := Build(cl, ConstantLatency(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Check(CheckOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	inj := RateInjector{Load: 0.4, Pattern: traffic.Uniform(n.Terminals()), PacketFlits: cfg.PacketFlits}
+	st := n.Run(inj, 0.4)
+	if err := n.CheckErr(); err != nil {
+		t.Fatalf("checker flagged a healthy run: %v", err)
+	}
+	if !st.Drained || st.Completed == 0 {
+		t.Fatalf("healthy run did not drain: %+v", st)
+	}
+}
+
+// TestCheckerObservational: enabling the checker and the delivery log
+// must not perturb the simulation — Stats and the latency histogram
+// stay bit-identical to an unchecked run at the same seed.
+func TestCheckerObservational(t *testing.T) {
+	cl := testClos(t)
+	cfg := testConfig()
+	cfg.WarmupCycles, cfg.MeasureCycles = 300, 600
+	inj := func() Injector {
+		return RateInjector{Load: 0.5, Pattern: traffic.Uniform(128), PacketFlits: cfg.PacketFlits}
+	}
+
+	plain, err := Build(cl, ConstantLatency(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stPlain := plain.Run(inj(), 0.5)
+
+	checked, err := Build(cl, ConstantLatency(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := checked.Check(CheckOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	checked.RecordDeliveries()
+	stChecked := checked.Run(inj(), 0.5)
+
+	if stPlain != stChecked {
+		t.Fatalf("checker perturbed the run:\n  plain   %+v\n  checked %+v", stPlain, stChecked)
+	}
+	hp, hc := plain.LatencyHistogram(), checked.LatencyHistogram()
+	if !hp.Equal(&hc) {
+		t.Fatal("checker perturbed the latency histogram")
+	}
+	if err := checked.CheckErr(); err != nil {
+		t.Fatal(err)
+	}
+	if len(checked.Deliveries()) < stChecked.Completed {
+		t.Fatalf("delivery log has %d entries for %d completed packets",
+			len(checked.Deliveries()), stChecked.Completed)
+	}
+}
+
+// TestCheckerDetectsFlitLeak: a flit planted in an input buffer that
+// was never injected must trip flit conservation (and the credit scan
+// for its feeding channel) on the next cycle boundary.
+func TestCheckerDetectsFlitLeak(t *testing.T) {
+	cl := testClos(t)
+	cfg := testConfig()
+	cfg.WarmupCycles, cfg.MeasureCycles = 10, 20
+	n, err := Build(cl, ConstantLatency(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Check(CheckOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Phantom flit: bump an input port's occupancy without an injection.
+	// routerOcc stays zero so the pipeline never touches it (the router
+	// believes it is idle), which is exactly the kind of counter drift
+	// the conservation scan exists to catch.
+	n.pkts = append(n.pkts, packetInfo{dst: 0})
+	n.vcs[0].push(flit{pkt: 0, last: true})
+	n.inOcc[0]++
+	n.Run(silentInjector{}, 0.01)
+	err = n.CheckErr()
+	if err == nil {
+		t.Fatal("checker missed a planted flit leak")
+	}
+	if !strings.Contains(err.Error(), "conservation") {
+		t.Fatalf("violation does not mention conservation: %v", err)
+	}
+}
+
+// TestCheckerDetectsCreditLoss: stealing one credit from an
+// inter-router output port must trip the per-channel credit
+// conservation scan.
+func TestCheckerDetectsCreditLoss(t *testing.T) {
+	cl := testClos(t)
+	cfg := testConfig()
+	cfg.WarmupCycles, cfg.MeasureCycles = 10, 20
+	n, err := Build(cl, ConstantLatency(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Check(CheckOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	stolen := false
+	for i := range n.outs {
+		if n.outs[i].ch >= 0 {
+			n.outs[i].credits--
+			stolen = true
+			break
+		}
+	}
+	if !stolen {
+		t.Fatal("no inter-router output port found")
+	}
+	n.Run(silentInjector{}, 0.01)
+	err = n.CheckErr()
+	if err == nil {
+		t.Fatal("checker missed a stolen credit")
+	}
+	if !strings.Contains(err.Error(), "credit conservation") {
+		t.Fatalf("violation does not mention credit conservation: %v", err)
+	}
+}
+
+// TestCheckerDetectsVCInterleave: flits of two packets interleaved in
+// one VC FIFO (head of packet B before tail of packet A) must trip the
+// wormhole-integrity scan.
+func TestCheckerDetectsVCInterleave(t *testing.T) {
+	cl := testClos(t)
+	cfg := testConfig()
+	cfg.WarmupCycles, cfg.MeasureCycles = 5, 10
+	n, err := Build(cl, ConstantLatency(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Check(CheckOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Two packets' body flits interleaved in VC 0. Occupancy counters
+	// are left untouched so the pipeline ignores the queue and only the
+	// integrity scan (which walks every VC unconditionally) sees it.
+	n.pkts = append(n.pkts, packetInfo{}, packetInfo{})
+	n.vcs[0].push(flit{pkt: 0, last: false})
+	n.vcs[0].push(flit{pkt: 1, last: false})
+	n.Run(silentInjector{}, 0.01)
+	err = n.CheckErr()
+	if err == nil {
+		t.Fatal("checker missed interleaved packets in a VC")
+	}
+	if !strings.Contains(err.Error(), "interleaves") {
+		t.Fatalf("violation does not mention interleaving: %v", err)
+	}
+}
+
+// TestCheckerWatchdog: a flit that can never win switch allocation
+// (its requested output has zero credits and no credit will ever
+// return) must trip the no-progress watchdog, and the deadlock dump
+// must name the stuck router. Every=1<<30 silences the structural scans
+// after cycle 0 so the watchdog report is not crowded out.
+func TestCheckerWatchdog(t *testing.T) {
+	cl := testClos(t)
+	cfg := testConfig()
+	cfg.WarmupCycles, cfg.MeasureCycles = 10, 200
+	n, err := Build(cl, ConstantLatency(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Check(CheckOptions{Watchdog: 20, Every: 1 << 30, MaxViolations: 16}); err != nil {
+		t.Fatal(err)
+	}
+	// Stuck state: a tail flit parked in vcActive on an inter-router
+	// output whose credits were zeroed. SA stalls on it forever.
+	var out int
+	found := false
+	for i := range n.outs {
+		if n.outs[i].ch >= 0 && i/n.maxP == 0 {
+			out = i
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no inter-router output on router 0")
+	}
+	n.outs[out].credits = 0
+	n.pkts = append(n.pkts, packetInfo{dst: 0})
+	vc := &n.vcs[0]
+	vc.push(flit{pkt: 0, last: true})
+	vc.state = vcActive
+	vc.outPort = int32(out % n.maxP)
+	vc.outVC = 0
+	n.outs[out].vcOwner[0] = 0
+	n.inOcc[0]++
+	n.routerOcc[0]++
+	n.Run(silentInjector{}, 0.01)
+	err = n.CheckErr()
+	if err == nil {
+		t.Fatal("watchdog missed a wedged network")
+	}
+	if !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("violation does not mention deadlock: %v", err)
+	}
+	if !strings.Contains(err.Error(), "router 0") {
+		t.Fatalf("deadlock dump does not name the stuck router: %v", err)
+	}
+}
+
+// TestCheckerWatchdogQuietWhenIdle: an idle network owes no progress;
+// the watchdog must not fire across long zero-traffic stretches.
+func TestCheckerWatchdogQuietWhenIdle(t *testing.T) {
+	cl := testClos(t)
+	cfg := testConfig()
+	cfg.WarmupCycles, cfg.MeasureCycles = 10, 500
+	n, err := Build(cl, ConstantLatency(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Check(CheckOptions{Watchdog: 20}); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(silentInjector{}, 0.01)
+	if err := n.CheckErr(); err != nil {
+		t.Fatalf("watchdog fired on an idle network: %v", err)
+	}
+}
+
+// TestCheckerMaxViolations: the violation log must cap at
+// MaxViolations and count the overflow instead of growing without
+// bound.
+func TestCheckerMaxViolations(t *testing.T) {
+	c := &checker{opt: CheckOptions{MaxViolations: 3}}
+	for i := 0; i < 10; i++ {
+		c.violatef("violation %d", i)
+	}
+	if len(c.violations) != 3 {
+		t.Fatalf("recorded %d violations, want cap 3", len(c.violations))
+	}
+	if c.dropped != 7 {
+		t.Fatalf("dropped = %d, want 7", c.dropped)
+	}
+}
+
+// BenchmarkSimSteadyStateChecked is the steady-state loop with the
+// invariant checker enabled at full cadence, quantifying the
+// verification overhead against BenchmarkSimSteadyState (the structural
+// scans are O(network) per cycle, so this is expected to cost a
+// multiple of the unchecked loop — the point of CheckOptions.Every).
+func BenchmarkSimSteadyStateChecked(b *testing.B) {
+	chip, err := ssc.MustTH5(200).Deradix(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl, err := topo.HomogeneousClos(128, chip)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{
+		NumVCs: 4, BufPerPort: 32, PacketFlits: 4,
+		RCIngress: 2, RCOther: 1, PipeDelay: 3, TermDelay: 8,
+		WarmupCycles: 10, MeasureCycles: 10, Seed: 7,
+	}
+	n, err := Build(cl, ConstantLatency(1), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := n.Check(CheckOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	inj, _ := SyntheticInjector(traffic.Uniform(128), 4)(0.5)
+	for ; n.now < 4000; n.now++ {
+		n.step(inj)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.step(inj)
+		n.now++
+	}
+	b.StopTimer()
+	if err := n.CheckErr(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// TestCheckOptionsValidation: negative cadence is rejected; defaults
+// fill in.
+func TestCheckOptionsValidation(t *testing.T) {
+	cl := testClos(t)
+	n, err := Build(cl, ConstantLatency(1), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Check(CheckOptions{Every: -1}); err == nil {
+		t.Fatal("negative Every accepted")
+	}
+	if err := n.Check(CheckOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if n.chk.opt.Every != 1 || n.chk.opt.Watchdog != defaultWatchdog || n.chk.opt.MaxViolations != defaultMaxViolations {
+		t.Fatalf("defaults not applied: %+v", n.chk.opt)
+	}
+	if n.CheckViolations() != nil {
+		t.Fatal("fresh checker has violations")
+	}
+}

@@ -1,0 +1,174 @@
+package refsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"waferswitch/internal/sim"
+	"waferswitch/internal/traffic"
+)
+
+// TestSimEquivalence is the headline differential test: the optimized
+// simulator and the dense reference must produce bit-identical Stats,
+// latency histograms and delivered-packet multisets across topology
+// families and load points spanning zero-load to past saturation, with
+// the runtime invariant checker clean on every optimized run.
+func TestSimEquivalence(t *testing.T) {
+	base := Spec{
+		Pattern: "uniform",
+		LinkLat: 2, VCs: 2, Buf: 8, Pkt: 2,
+		RCI: 1, RCO: 1, Pipe: 1, Term: 1,
+		Warmup: 50, Measure: 150, Seed: 42,
+	}
+	families := []string{"clos", "mesh", "fbfly", "dfly"}
+	loads := []float64{0.05, 0.25, 0.6}
+	for _, fam := range families {
+		for _, load := range loads {
+			s := base
+			s.Family = fam
+			s.Load = load
+			t.Run(fmt.Sprintf("%s/load=%g", fam, load), func(t *testing.T) {
+				rep, err := s.Diff()
+				if err != nil {
+					t.Fatalf("diff %s: %v", s, err)
+				}
+				if !rep.OK() {
+					t.Fatalf("simulators diverge:\n%s", rep.Summary())
+				}
+				if rep.Opt.Completed == 0 {
+					t.Fatalf("spec %s completed no packets; test is vacuous", s)
+				}
+			})
+		}
+	}
+}
+
+// TestSimEquivalencePatterns varies the traffic pattern and shape knobs
+// on one family each, covering the pattern set and the non-trivial
+// pipeline delays.
+func TestSimEquivalencePatterns(t *testing.T) {
+	specs := []Spec{
+		{Family: "clos", Size: 1, Pattern: "tornado", LinkLat: 1, VCs: 4, Buf: 12, Pkt: 3, RCI: 2, RCO: 1, Pipe: 2, Term: 3, Warmup: 30, Measure: 100, Seed: 7, Load: 0.3},
+		{Family: "mesh", Size: 2, Pattern: "neighbor", LinkLat: 3, VCs: 1, Buf: 4, Pkt: 4, RCI: 1, RCO: 2, Pipe: 0, Term: 0, Warmup: 60, Measure: 120, Seed: 99, Load: 0.15},
+		{Family: "fbfly", Size: 1, Pattern: "asymmetric", LinkLat: 2, VCs: 3, Buf: 10, Pkt: 1, RCI: 3, RCO: 3, Pipe: 1, Term: 2, Warmup: 40, Measure: 200, Seed: 1234, Load: 0.4},
+		{Family: "dfly", Size: 1, Pattern: "uniform", LinkLat: 4, VCs: 2, Buf: 6, Pkt: 2, RCI: 1, RCO: 1, Pipe: 2, Term: 1, Warmup: 25, Measure: 80, Seed: -5, Load: 0.5},
+	}
+	for _, s := range specs {
+		s := s
+		t.Run(s.Family+"/"+s.Pattern, func(t *testing.T) {
+			rep, err := s.Diff()
+			if err != nil {
+				t.Fatalf("diff %s: %v", s, err)
+			}
+			if !rep.OK() {
+				t.Fatalf("simulators diverge:\n%s", rep.Summary())
+			}
+		})
+	}
+}
+
+// TestSpecRoundTrip pins the replay contract: String o ParseSpec is the
+// identity, so a tuple printed by a failing fuzz run reproduces the
+// exact same case under wsswitch -replay.
+func TestSpecRoundTrip(t *testing.T) {
+	s := SpecFromRaw(3, 1, 2, 0, 1, 7, 2, 0, 1, 2, 3, 77, 150, -12345, 333)
+	got, err := ParseSpec(s.String())
+	if err != nil {
+		t.Fatalf("ParseSpec(%q): %v", s.String(), err)
+	}
+	if got != s {
+		t.Fatalf("round trip changed spec:\n  in  %+v\n  out %+v", s, got)
+	}
+	if _, err := ParseSpec("family=clos bogus=1"); err == nil {
+		t.Fatalf("ParseSpec accepted unknown key")
+	}
+	if _, err := ParseSpec("size=1"); err == nil {
+		t.Fatalf("ParseSpec accepted spec without family")
+	}
+}
+
+// TestSpecFromRawTotal: every raw tuple must map to a buildable,
+// runnable spec (the fuzz mapping is total by contract).
+func TestSpecFromRawTotal(t *testing.T) {
+	for fam := uint8(0); fam < 4; fam++ {
+		for size := uint8(0); size < 3; size++ {
+			s := SpecFromRaw(fam, size, size, fam, size, fam, size, fam, size, fam, size, uint16(fam)*37, uint16(size)*91, int64(fam)*1000, uint16(size)*200)
+			top, err := s.Build()
+			if err != nil {
+				t.Fatalf("SpecFromRaw produced unbuildable spec %s: %v", s, err)
+			}
+			if _, err := s.Injector(top.ExternalPorts()); err != nil {
+				t.Fatalf("SpecFromRaw produced bad injector %s: %v", s, err)
+			}
+			if _, err := sim.Build(top, sim.ConstantLatency(s.LinkLat), s.Config()); err != nil {
+				t.Fatalf("SpecFromRaw produced invalid sim config %s: %v", s, err)
+			}
+		}
+	}
+}
+
+// TestRefsimZeroLoadLatency cross-checks the reference simulator on its
+// own terms: at near-zero load on the smallest Clos, every packet's
+// latency must equal the analytic zero-load path latency band (ingress
+// RC + hops + channel latencies + pipeline delays), which the optimized
+// simulator's own unit tests pin too.
+func TestRefsimZeroLoadLatency(t *testing.T) {
+	s := Spec{Family: "clos", Size: 0, Pattern: "uniform", LinkLat: 1,
+		VCs: 2, Buf: 8, Pkt: 1, RCI: 1, RCO: 1, Pipe: 1, Term: 1,
+		Warmup: 50, Measure: 200, Seed: 3, Load: 0.01}
+	top, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := s.Injector(top.ExternalPorts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(top, sim.ConstantLatency(s.LinkLat), s.Config(), inj, s.Load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Completed == 0 {
+		t.Fatal("no packets completed at zero load")
+	}
+	if !res.Stats.Drained {
+		t.Fatal("zero-load run failed to drain")
+	}
+	// Single-flit packets on clos-32: min path is intra-leaf (term
+	// channel + RC + SA + egress pipeline), max crosses one spine.
+	// Latency must sit in a tight band; a gross miss means the reference
+	// pipeline itself is wrong, which would poison every diff.
+	if res.Stats.AvgLatency < 4 || res.Stats.AvgLatency > 40 {
+		t.Fatalf("implausible zero-load latency %.2f", res.Stats.AvgLatency)
+	}
+	for _, d := range res.Deliveries {
+		if d.Done <= d.Born {
+			t.Fatalf("delivery finished at or before birth: %+v", d)
+		}
+	}
+}
+
+// TestRateInjectorOfferedLoad is the load-accuracy property for the
+// shared injector: over a long horizon the injected flit rate must
+// track Load within a 4-sigma band of the underlying Bernoulli process.
+func TestRateInjectorOfferedLoad(t *testing.T) {
+	const cycles = 200000
+	for _, load := range []float64{0.1, 0.35, 0.7} {
+		ri := sim.RateInjector{Load: load, Pattern: traffic.Uniform(64), PacketFlits: 2}
+		rng := rand.New(rand.NewSource(11))
+		flits := 0
+		for now := int64(0); now < cycles; now++ {
+			if _, f, ok := ri.Generate(0, now, rng); ok {
+				flits += f
+			}
+		}
+		got := float64(flits) / cycles
+		p := load / 2 // per-cycle packet probability; each packet is 2 flits
+		tol := 4 * 2 * math.Sqrt(p*(1-p)/cycles)
+		if got < load-tol || got > load+tol {
+			t.Fatalf("load %.2f: injected %.4f flits/cycle (tol %.4f)", load, got, tol)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package refsim
+
+import (
+	"testing"
+
+	"waferswitch/internal/obs"
+	"waferswitch/internal/sim"
+	"waferswitch/internal/traffic"
+)
+
+// FuzzSimEquivalence fuzzes the differential harness: any raw tuple
+// maps (via SpecFromRaw's total clamping) to a valid topology, config,
+// seed and load, and the optimized simulator must agree bit-for-bit
+// with the dense reference — Stats, latency histogram, delivery
+// multiset — with the runtime invariant checker clean. A failure
+// message leads with the Spec replay tuple; reproduce it outside the
+// fuzzer with `wsswitch -replay "<spec>"`.
+func FuzzSimEquivalence(f *testing.F) {
+	// Seed corpus: one case per family, plus shape extremes (single VC,
+	// deep packets, zero pipeline delays, negative seed, heavy load).
+	f.Add(uint8(0), uint8(0), uint8(0), uint8(1), uint8(1), uint8(4), uint8(1), uint8(0), uint8(0), uint8(1), uint8(1), uint16(40), uint16(100), int64(1), uint16(200))
+	f.Add(uint8(1), uint8(1), uint8(1), uint8(0), uint8(3), uint8(0), uint8(3), uint8(1), uint8(1), uint8(0), uint8(0), uint16(0), uint16(0), int64(-7), uint16(550))
+	f.Add(uint8(2), uint8(2), uint8(2), uint8(2), uint8(0), uint8(11), uint8(0), uint8(2), uint8(2), uint8(2), uint8(3), uint16(119), uint16(199), int64(424242), uint16(30))
+	f.Add(uint8(3), uint8(0), uint8(3), uint8(3), uint8(2), uint8(6), uint8(2), uint8(0), uint8(2), uint8(1), uint8(2), uint16(60), uint16(140), int64(987654321), uint16(420))
+	f.Fuzz(func(t *testing.T, family, size, pattern, link, vcs, buf, pkt, rci, rco, pipe, term uint8,
+		warmup, measure uint16, seed int64, loadMil uint16) {
+		s := SpecFromRaw(family, size, pattern, link, vcs, buf, pkt, rci, rco, pipe, term, warmup, measure, seed, loadMil)
+		rep, err := s.Diff()
+		if err != nil {
+			t.Fatalf("diff %s: %v", s, err)
+		}
+		if !rep.OK() {
+			t.Fatalf("simulators diverge; replay with: wsswitch -replay %q\n%s", s.String(), rep.Summary())
+		}
+	})
+}
+
+// FuzzSweepDeterminism fuzzes the parallel sweep engine's determinism
+// contract: a sweep fanned across W workers must be bit-identical —
+// per-point Stats and the merged aggregate histogram — to the same
+// sweep run serially, for any load vector, seed and worker count.
+func FuzzSweepDeterminism(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(3), uint16(80), uint16(120))
+	f.Add(int64(-99), uint8(7), uint8(8), uint16(300), uint16(45))
+	f.Add(int64(20240601), uint8(2), uint8(2), uint16(555), uint16(90))
+	f.Fuzz(func(t *testing.T, seed int64, nLoads, workers uint8, loadBase, measure uint16) {
+		nl := 2 + int(nLoads)%6
+		w := 2 + int(workers)%6
+		loads := make([]float64, nl)
+		for i := range loads {
+			// Spread loads over (0, 0.6]; the exact values are
+			// fuzz-chosen but every worker split must agree on them.
+			loads[i] = 0.02 + float64((int(loadBase)+i*97)%580)/1000
+		}
+		cfg := sim.Config{
+			NumVCs: 2, BufPerPort: 8, PacketFlits: 2,
+			RCIngress: 1, RCOther: 1, PipeDelay: 1, TermDelay: 1,
+			WarmupCycles: 20, MeasureCycles: 30 + int(measure)%120,
+			Seed: seed,
+		}
+		s := Spec{Family: "clos", Size: 0}
+		top, err := s.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		build := func() (*sim.Network, error) {
+			return sim.Build(top, sim.ConstantLatency(1), cfg)
+		}
+		injf := sim.SyntheticInjector(traffic.Uniform(top.ExternalPorts()), cfg.PacketFlits)
+
+		serial, err := sim.Sweep(build, injf, loads, sim.SweepOptions{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := sim.Sweep(build, injf, loads, sim.SweepOptions{Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss, ps := serial.Stats(), par.Stats()
+		for i := range ss {
+			if ss[i] != ps[i] {
+				t.Fatalf("seed %d workers %d: point %d differs\n  serial   %+v\n  parallel %+v",
+					seed, w, i, ss[i], ps[i])
+			}
+		}
+		sl, pl := serial.Aggregate, par.Aggregate
+		if (sl == nil) != (pl == nil) {
+			t.Fatalf("aggregate presence differs: serial %v, parallel %v", sl != nil, pl != nil)
+		}
+		if sl != nil && !histSnapshotsEqual(sl.Latency, pl.Latency) {
+			t.Fatalf("aggregate latency snapshots differ\n  serial   %+v\n  parallel %+v", sl.Latency, pl.Latency)
+		}
+	})
+}
+
+// histSnapshotsEqual compares two histogram snapshots field by field
+// (the struct holds a bucket slice, so == does not apply).
+func histSnapshotsEqual(a, b *obs.HistogramSnapshot) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Count != b.Count || a.Mean != b.Mean || a.Min != b.Min || a.Max != b.Max ||
+		a.P50 != b.P50 || a.P90 != b.P90 || a.P99 != b.P99 || a.P999 != b.P999 ||
+		len(a.Buckets) != len(b.Buckets) {
+		return false
+	}
+	for i := range a.Buckets {
+		if a.Buckets[i] != b.Buckets[i] {
+			return false
+		}
+	}
+	return true
+}

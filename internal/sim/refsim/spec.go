@@ -1,0 +1,358 @@
+package refsim
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"waferswitch/internal/sim"
+	"waferswitch/internal/ssc"
+	"waferswitch/internal/topo"
+	"waferswitch/internal/traffic"
+)
+
+// Spec is a complete, self-describing differential-test case: topology
+// family and size, traffic pattern, every simulator config knob, the
+// seed and the offered load. Its String form is the reproduction tuple
+// printed by failing equivalence tests and fuzz runs; feed it back with
+// `wsswitch -replay "<spec>"` (or ParseSpec) to re-run the exact
+// divergence deterministically.
+type Spec struct {
+	Family  string // clos | mesh | fbfly | dfly
+	Size    int    // 0..2: family-specific shape (see Build)
+	Pattern string // uniform | tornado | neighbor | asymmetric
+
+	LinkLat int // channel latency between routers, cycles
+
+	VCs, Buf, Pkt        int // VCs/port, flit buffer/port, flits/packet
+	RCI, RCO, Pipe, Term int // pipeline delays
+	Warmup, Measure      int // cycles
+	Drain                int // 0 = default (10x Measure)
+
+	Seed int64
+	Load float64 // offered, flits/terminal/cycle
+}
+
+// Families and patterns a Spec can name, in the order raw fuzz bytes
+// index them.
+var (
+	specFamilies = []string{"clos", "mesh", "fbfly", "dfly"}
+	specPatterns = []string{"uniform", "tornado", "neighbor", "asymmetric"}
+)
+
+// SpecFromRaw maps arbitrary fuzz-provided values into a valid Spec:
+// enums index modulo the tables, every knob clamps into a range where
+// the configuration is buildable and a run completes in well under a
+// second. The mapping is total — any input is a legal test case.
+func SpecFromRaw(family, size, pattern, link, vcs, buf, pkt, rci, rco, pipe, term uint8,
+	warmup, measure uint16, seed int64, loadMil uint16) Spec {
+	p := 1 + int(pkt)%4
+	return Spec{
+		Family:  specFamilies[int(family)%len(specFamilies)],
+		Size:    int(size) % 3,
+		Pattern: specPatterns[int(pattern)%len(specPatterns)],
+		LinkLat: 1 + int(link)%4,
+		VCs:     1 + int(vcs)%4,
+		Pkt:     p,
+		Buf:     max(p, 2) + int(buf)%12,
+		RCI:     1 + int(rci)%3,
+		RCO:     1 + int(rco)%3,
+		Pipe:    int(pipe) % 3,
+		Term:    int(term) % 4,
+		Warmup:  10 + int(warmup)%120,
+		Measure: 40 + int(measure)%200,
+		Seed:    seed,
+		Load:    0.02 + float64(loadMil%600)/1000,
+	}
+}
+
+// String renders the spec as the canonical replay tuple:
+// space-separated key=value pairs, parseable by ParseSpec.
+func (s Spec) String() string {
+	return fmt.Sprintf(
+		"family=%s size=%d pattern=%s link=%d vcs=%d buf=%d pkt=%d rci=%d rco=%d pipe=%d term=%d warmup=%d measure=%d drain=%d seed=%d load=%g",
+		s.Family, s.Size, s.Pattern, s.LinkLat, s.VCs, s.Buf, s.Pkt,
+		s.RCI, s.RCO, s.Pipe, s.Term, s.Warmup, s.Measure, s.Drain,
+		s.Seed, s.Load)
+}
+
+// ParseSpec parses the String form back into a Spec. Unknown keys are
+// errors so a mistyped replay tuple fails loudly instead of silently
+// running a default.
+func ParseSpec(in string) (Spec, error) {
+	var s Spec
+	for _, tok := range strings.Fields(in) {
+		key, val, ok := strings.Cut(tok, "=")
+		if !ok {
+			return s, fmt.Errorf("refsim: malformed spec token %q (want key=value)", tok)
+		}
+		var err error
+		switch key {
+		case "family":
+			s.Family = val
+		case "pattern":
+			s.Pattern = val
+		case "size":
+			s.Size, err = strconv.Atoi(val)
+		case "link":
+			s.LinkLat, err = strconv.Atoi(val)
+		case "vcs":
+			s.VCs, err = strconv.Atoi(val)
+		case "buf":
+			s.Buf, err = strconv.Atoi(val)
+		case "pkt":
+			s.Pkt, err = strconv.Atoi(val)
+		case "rci":
+			s.RCI, err = strconv.Atoi(val)
+		case "rco":
+			s.RCO, err = strconv.Atoi(val)
+		case "pipe":
+			s.Pipe, err = strconv.Atoi(val)
+		case "term":
+			s.Term, err = strconv.Atoi(val)
+		case "warmup":
+			s.Warmup, err = strconv.Atoi(val)
+		case "measure":
+			s.Measure, err = strconv.Atoi(val)
+		case "drain":
+			s.Drain, err = strconv.Atoi(val)
+		case "seed":
+			s.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "load":
+			s.Load, err = strconv.ParseFloat(val, 64)
+		default:
+			return s, fmt.Errorf("refsim: unknown spec key %q", key)
+		}
+		if err != nil {
+			return s, fmt.Errorf("refsim: bad spec value %q: %v", tok, err)
+		}
+	}
+	if s.Family == "" {
+		return s, fmt.Errorf("refsim: spec missing family")
+	}
+	return s, nil
+}
+
+// Build constructs the spec's topology. Shapes are kept small (4-24
+// routers, 20-130 terminals) so a differential run costs milliseconds.
+func (s Spec) Build() (*topo.Topology, error) {
+	chip, err := ssc.MustTH5(200).Deradix(16) // radix-16 sub-switch
+	if err != nil {
+		return nil, err
+	}
+	switch s.Family {
+	case "clos":
+		totals := [3]int{32, 64, 128}
+		return topo.HomogeneousClos(totals[s.Size%3], chip)
+	case "mesh":
+		switch s.Size % 3 {
+		case 0:
+			return topo.MeshTopo(2, 2, chip, 2)
+		case 1:
+			return topo.MeshTopo(2, 3, chip, 2)
+		default:
+			return topo.MeshTopo(3, 3, chip, 1)
+		}
+	case "fbfly":
+		shapes := [3][2]int{{2, 2}, {2, 3}, {3, 3}}
+		sh := shapes[s.Size%3]
+		return topo.FlattenedButterfly(sh[0], sh[1], chip)
+	case "dfly":
+		switch s.Size % 3 {
+		case 0:
+			return topo.Dragonfly(3, 2, 1, 1, chip)
+		case 1:
+			return topo.Dragonfly(4, 2, 2, 1, chip)
+		default:
+			return topo.Dragonfly(5, 2, 2, 1, chip)
+		}
+	default:
+		return nil, fmt.Errorf("refsim: unknown topology family %q", s.Family)
+	}
+}
+
+// Config materializes the simulator configuration the spec names.
+func (s Spec) Config() sim.Config {
+	return sim.Config{
+		NumVCs:        s.VCs,
+		BufPerPort:    s.Buf,
+		PacketFlits:   s.Pkt,
+		RCIngress:     s.RCI,
+		RCOther:       s.RCO,
+		PipeDelay:     s.Pipe,
+		TermDelay:     s.Term,
+		WarmupCycles:  s.Warmup,
+		MeasureCycles: s.Measure,
+		DrainCycles:   s.Drain,
+		Seed:          s.Seed,
+	}
+}
+
+// Injector builds the spec's traffic injector for a network with the
+// given terminal count.
+func (s Spec) Injector(terms int) (sim.Injector, error) {
+	var pat traffic.Pattern
+	switch s.Pattern {
+	case "uniform":
+		pat = traffic.Uniform(terms)
+	case "tornado":
+		pat = traffic.Tornado(terms)
+	case "neighbor":
+		pat = traffic.Neighbor(terms)
+	case "asymmetric":
+		pat = traffic.Asymmetric(terms)
+	default:
+		return nil, fmt.Errorf("refsim: unknown traffic pattern %q", s.Pattern)
+	}
+	return sim.RateInjector{Load: s.Load, Pattern: pat, PacketFlits: s.Pkt}, nil
+}
+
+// DeadlockFree reports whether the spec's routing is deadlock-free by
+// construction: up/down traversal on the Clos and dimension-order
+// routing on the mesh cannot form a channel-dependency cycle. The BFS
+// minimal routing used on flattened butterflies and dragonflies can
+// (those topologies need escape VCs or Valiant routing for deadlock
+// freedom, which this simulator intentionally does not model), so the
+// checker's watchdog is disabled for them: a wormhole cycle there is a
+// property of the configuration, not a simulator bug, and both
+// implementations must stall identically.
+func (s Spec) DeadlockFree() bool {
+	return s.Family == "clos" || s.Family == "mesh"
+}
+
+// DiffReport is the outcome of one differential run.
+type DiffReport struct {
+	Spec Spec
+	Opt  sim.Stats // optimized simulator
+	Ref  sim.Stats // reference simulator
+	// Violations are the runtime invariant checker's findings on the
+	// optimized run (the reference run is the oracle and runs unchecked).
+	Violations []string
+	// Divergences describe every way the two runs disagreed: Stats
+	// fields, latency histogram, delivered-packet multiset.
+	Divergences []string
+}
+
+// OK reports whether the two simulators agreed and no invariant fired.
+func (r *DiffReport) OK() bool {
+	return len(r.Violations) == 0 && len(r.Divergences) == 0
+}
+
+// Summary renders a human-readable failure report headed by the replay
+// tuple.
+func (r *DiffReport) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "spec: %s\n", r.Spec)
+	if r.OK() {
+		fmt.Fprintf(&b, "OK: optimized and reference simulators agree (completed=%d accepted=%.4f avg_latency=%.2f)\n",
+			r.Opt.Completed, r.Opt.Accepted, r.Opt.AvgLatency)
+		return b.String()
+	}
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "invariant: %s\n", v)
+	}
+	for _, d := range r.Divergences {
+		fmt.Fprintf(&b, "divergence: %s\n", d)
+	}
+	return b.String()
+}
+
+// Diff runs the spec through both simulators and compares everything
+// observable: Stats, the latency histogram (bit-identical bucket counts
+// and float sums), and the delivered-packet multiset. The optimized run
+// also carries the runtime invariant checker, so a diff both
+// cross-checks the implementations against each other and the optimized
+// one against the specification's conservation laws.
+func (s Spec) Diff() (*DiffReport, error) {
+	top, err := s.Build()
+	if err != nil {
+		return nil, err
+	}
+	cfg := s.Config()
+	lat := sim.ConstantLatency(s.LinkLat)
+
+	inj, err := s.Injector(top.ExternalPorts())
+	if err != nil {
+		return nil, err
+	}
+	n, err := sim.Build(top, lat, cfg)
+	if err != nil {
+		return nil, err
+	}
+	opt := sim.CheckOptions{}
+	if !s.DeadlockFree() {
+		opt.Watchdog = -1
+	}
+	if err := n.Check(opt); err != nil {
+		return nil, err
+	}
+	n.RecordDeliveries()
+	rep := &DiffReport{Spec: s}
+	rep.Opt = n.Run(inj, s.Load)
+	rep.Violations = n.CheckViolations()
+	optHist := n.LatencyHistogram()
+
+	refInj, err := s.Injector(top.ExternalPorts())
+	if err != nil {
+		return nil, err
+	}
+	ref, err := Run(top, lat, cfg, refInj, s.Load)
+	if err != nil {
+		return nil, err
+	}
+	rep.Ref = ref.Stats
+
+	if rep.Opt != rep.Ref {
+		rep.Divergences = append(rep.Divergences,
+			fmt.Sprintf("stats differ:\n  optimized %+v\n  reference %+v", rep.Opt, rep.Ref))
+	}
+	if !optHist.Equal(&ref.Hist) {
+		rep.Divergences = append(rep.Divergences, fmt.Sprintf(
+			"latency histograms differ: optimized n=%d sum=%g min=%d max=%d, reference n=%d sum=%g min=%d max=%d",
+			optHist.Count(), optHist.Sum(), optHist.Min(), optHist.Max(),
+			ref.Hist.Count(), ref.Hist.Sum(), ref.Hist.Min(), ref.Hist.Max()))
+	}
+	if d := diffDeliveries(n.Deliveries(), ref.Deliveries); d != "" {
+		rep.Divergences = append(rep.Divergences, d)
+	}
+	return rep, nil
+}
+
+// diffDeliveries compares two delivery multisets (order-insensitively:
+// both simulators complete packets in the same order today, but the
+// contract is the multiset) and describes the first difference.
+func diffDeliveries(opt, ref []sim.Delivery) string {
+	if len(opt) != len(ref) {
+		return fmt.Sprintf("delivery counts differ: optimized %d, reference %d", len(opt), len(ref))
+	}
+	o := append([]sim.Delivery(nil), opt...)
+	r := append([]sim.Delivery(nil), ref...)
+	sortDeliveries(o)
+	sortDeliveries(r)
+	for i := range o {
+		if o[i] != r[i] {
+			return fmt.Sprintf("delivery multisets differ at sorted index %d: optimized %+v, reference %+v", i, o[i], r[i])
+		}
+	}
+	return ""
+}
+
+func sortDeliveries(d []sim.Delivery) {
+	sort.Slice(d, func(i, j int) bool {
+		a, b := d[i], d[j]
+		if a.Born != b.Born {
+			return a.Born < b.Born
+		}
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Done != b.Done {
+			return a.Done < b.Done
+		}
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		return a.Size < b.Size
+	})
+}

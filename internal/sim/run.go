@@ -121,6 +121,11 @@ func (n *Network) Run(inj Injector, offered float64) Stats {
 		st.P99Latency = n.latHist.Percentile(0.99)
 		st.P999Latency = n.latHist.Percentile(0.999)
 	}
+	if n.chk != nil && n.logger != nil && len(n.chk.violations) > 0 {
+		n.logger.Error("sim.check_failed",
+			"violations", len(n.chk.violations)+n.chk.dropped,
+			"first", n.chk.violations[0])
+	}
 	if n.logger != nil {
 		if st.Drained {
 			n.logger.Info("sim.drained",
@@ -164,6 +169,9 @@ func (n *Network) step(inj Injector) {
 	n.inject(inj)
 	if n.probe != nil {
 		n.recordOccupancy()
+	}
+	if n.chk != nil {
+		n.chk.endCycle(n)
 	}
 }
 
@@ -401,9 +409,15 @@ func (n *Network) forward(r, out, winnerVC int) {
 		if n.probe != nil {
 			n.probe.Ejected++
 		}
+		if n.chk != nil {
+			n.chk.noteForward(n.now, f, true)
+		}
 		if f.last {
 			n.completePacket(f.pkt)
 		}
+	}
+	if n.chk != nil && o.ch >= 0 {
+		n.chk.noteForward(n.now, f, false)
 	}
 	if f.last {
 		o.vcOwner[vc.outVC] = -1
@@ -422,6 +436,15 @@ func (n *Network) completePacket(pkt int32) {
 		n.latencySum += lat
 		n.latHist.Observe(lat)
 		n.completed++
+	}
+	if n.chk != nil {
+		n.chk.noteComplete(pkt, pi, n.now)
+	}
+	if n.recordDeliv {
+		n.deliveries = append(n.deliveries, Delivery{
+			Src: pi.src, Dst: pi.dst, Size: pi.size,
+			Born: pi.born, Done: n.now, Measured: pi.measured,
+		})
 	}
 	n.freePkts = append(n.freePkts, pkt)
 }
@@ -468,6 +491,9 @@ func (n *Network) inject(inj Injector) {
 			n.probe.Injected++
 			n.probe.Channels[n.termChIn[t]].Flits++
 		}
+		if n.chk != nil {
+			n.chk.noteInject(n.now)
+		}
 		n.srcCredit[t]--
 		n.srcSent[t]++
 		if last {
@@ -495,6 +521,9 @@ func (n *Network) allocPacket(t int, pp *pendingPkt) int32 {
 	n.pkts[pkt] = packetInfo{
 		src: int32(t), dst: pp.dst, size: pp.size,
 		born: pp.born, measured: pp.measured,
+	}
+	if n.chk != nil {
+		n.chk.noteAlloc(pkt, n.now)
 	}
 	return pkt
 }

@@ -1,0 +1,231 @@
+package topo
+
+import (
+	"testing"
+
+	"waferswitch/internal/ssc"
+)
+
+// Property tests for the topology builders: across a radix/size grid,
+// every constructor must either refuse the shape or produce a topology
+// that (1) passes Validate, (2) is connected — every router reaches
+// every other along links, the property the simulator's BFS route
+// construction requires — and (3) has symmetric link multiplicity per
+// node pair. These are the structural preconditions internal/sim's
+// Build assumes; a builder that silently violated one would fail deep
+// inside route construction instead of here.
+
+// propChips is the chiplet grid: the TH5-class die deradixed across the
+// spectrum the experiments use.
+func propChips(t *testing.T) []ssc.Chiplet {
+	t.Helper()
+	var chips []ssc.Chiplet
+	for _, f := range []int{1, 2, 4, 8, 16, 32} {
+		c, err := ssc.MustTH5(200).Deradix(f)
+		if err != nil {
+			t.Fatalf("Deradix(%d): %v", f, err)
+		}
+		chips = append(chips, c)
+	}
+	return chips
+}
+
+// reachableAll runs one BFS over the link graph and reports whether
+// every node is reachable from node 0.
+func reachableAll(t *Topology) bool {
+	n := len(t.Nodes)
+	if n == 0 {
+		return false
+	}
+	adj := make([][]int, n)
+	for _, l := range t.Links {
+		adj[l.A] = append(adj[l.A], l.B)
+		adj[l.B] = append(adj[l.B], l.A)
+	}
+	seen := make([]bool, n)
+	seen[0] = true
+	queue := []int{0}
+	count := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				queue = append(queue, v)
+			}
+		}
+	}
+	return count == n
+}
+
+// checkTopology asserts the three structural properties on a built
+// topology.
+func checkTopology(t *testing.T, top *Topology) {
+	t.Helper()
+	if err := top.Validate(); err != nil {
+		t.Fatalf("%s: Validate: %v", top.Name, err)
+	}
+	if !reachableAll(top) {
+		t.Fatalf("%s: link graph is disconnected", top.Name)
+	}
+	// Link-multiplicity symmetry: total lanes from a to b equal lanes
+	// from b to a. Links are undirected records, so fold both directions
+	// and require the per-ordered-pair sums to match.
+	lanes := map[[2]int]int{}
+	for _, l := range top.Links {
+		lanes[[2]int{l.A, l.B}] += l.Lanes
+		lanes[[2]int{l.B, l.A}] += l.Lanes
+	}
+	for pair, n := range lanes {
+		if rev := lanes[[2]int{pair[1], pair[0]}]; rev != n {
+			t.Fatalf("%s: asymmetric lanes %d<->%d: %d vs %d", top.Name, pair[0], pair[1], n, rev)
+		}
+	}
+}
+
+// TestClosBuildersGrid: HomogeneousClos across (radix, totalPorts)
+// must refuse or build valid; when it builds, the external port count
+// must equal the requested total exactly (the non-blocking Clos
+// contract).
+func TestClosBuildersGrid(t *testing.T) {
+	for _, chip := range propChips(t) {
+		for _, total := range []int{16, 24, 32, 48, 64, 96, 128, 192, 256, 512} {
+			top, err := HomogeneousClos(total, chip)
+			if err != nil {
+				continue
+			}
+			checkTopology(t, top)
+			if got := top.ExternalPorts(); got != total {
+				t.Fatalf("clos(radix=%d, total=%d): external ports %d", chip.Radix, total, got)
+			}
+			// Role split: leaves carry all external ports, spines none.
+			for _, n := range top.Nodes {
+				if n.Role == RoleSpine && n.ExternalPorts != 0 {
+					t.Fatalf("clos spine %d has %d external ports", n.ID, n.ExternalPorts)
+				}
+			}
+		}
+	}
+}
+
+// TestMeshBuildersGrid: MeshTopo across shapes and lane counts.
+func TestMeshBuildersGrid(t *testing.T) {
+	for _, chip := range propChips(t) {
+		for _, sh := range [][2]int{{2, 2}, {2, 3}, {3, 3}, {4, 4}, {3, 5}, {8, 8}} {
+			for _, lanes := range []int{1, 2, 4} {
+				top, err := MeshTopo(sh[0], sh[1], chip, lanes)
+				if err != nil {
+					continue
+				}
+				checkTopology(t, top)
+				if len(top.Nodes) != sh[0]*sh[1] {
+					t.Fatalf("mesh %v: %d nodes", sh, len(top.Nodes))
+				}
+				if top.MeshRows != sh[0] || top.MeshCols != sh[1] {
+					t.Fatalf("mesh %v: grid shape not recorded (%d,%d)", sh, top.MeshRows, top.MeshCols)
+				}
+			}
+		}
+	}
+}
+
+// TestButterflyBuildersGrid: Butterfly2 and FlattenedButterfly across
+// shapes and oversubscription.
+func TestButterflyBuildersGrid(t *testing.T) {
+	for _, chip := range propChips(t) {
+		for _, s1 := range []int{2, 4, 8, 16} {
+			for _, over := range []int{1, 2, 3} {
+				top, err := Butterfly2(s1, chip, over)
+				if err != nil {
+					continue
+				}
+				checkTopology(t, top)
+			}
+		}
+		for _, sh := range [][2]int{{2, 2}, {2, 3}, {3, 3}, {4, 4}, {2, 8}} {
+			top, err := FlattenedButterfly(sh[0], sh[1], chip)
+			if err != nil {
+				continue
+			}
+			checkTopology(t, top)
+		}
+	}
+}
+
+// TestDragonflyBuildersGrid: Dragonfly across (groups, a, h, p) and
+// BalancedDragonfly across budgets.
+func TestDragonflyBuildersGrid(t *testing.T) {
+	for _, chip := range propChips(t) {
+		for _, g := range []int{2, 3, 4, 5, 9} {
+			for _, shape := range [][3]int{{2, 1, 1}, {2, 2, 1}, {4, 2, 2}, {6, 3, 3}} {
+				top, err := Dragonfly(g, shape[0], shape[1], shape[2], chip)
+				if err != nil {
+					continue
+				}
+				checkTopology(t, top)
+				if len(top.Nodes) != g*shape[0] {
+					t.Fatalf("dragonfly g=%d a=%d: %d nodes", g, shape[0], len(top.Nodes))
+				}
+			}
+		}
+		for _, budget := range []int{4, 8, 16, 64, 200} {
+			top, err := BalancedDragonfly(budget, chip)
+			if err != nil {
+				continue
+			}
+			checkTopology(t, top)
+			if len(top.Nodes) > budget {
+				t.Fatalf("BalancedDragonfly(%d) used %d chiplets", budget, len(top.Nodes))
+			}
+		}
+	}
+}
+
+// TestBuildersRefuseDegenerateShapes: known-bad shapes must error, not
+// build.
+func TestBuildersRefuseDegenerateShapes(t *testing.T) {
+	chip, err := ssc.MustTH5(200).Deradix(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MeshTopo(1, 4, chip, 1); err == nil {
+		t.Error("1-row mesh accepted")
+	}
+	if _, err := MeshTopo(2, 2, chip, chip.Radix); err == nil {
+		t.Error("mesh with radix-exhausting lanes accepted")
+	}
+	if _, err := HomogeneousClos(chip.Radix, chip); err == nil {
+		t.Error("single-chiplet-sized clos accepted")
+	}
+	if _, err := HomogeneousClos(chip.Radix*2+1, chip); err == nil {
+		t.Error("non-divisible clos accepted")
+	}
+	if _, err := Dragonfly(100, 2, 1, 1, chip); err == nil {
+		t.Error("dragonfly with groups > a*h+1 accepted")
+	}
+	if _, err := FlattenedButterfly(1, 2, chip); err == nil {
+		t.Error("1-row flattened butterfly accepted")
+	}
+	if _, err := Butterfly2(1, chip, 1); err == nil {
+		t.Error("single-leaf butterfly accepted")
+	}
+}
+
+// TestNearSquareCovers: NearSquare must return dimensions covering n
+// with near-square aspect for the whole small-n range.
+func TestNearSquareCovers(t *testing.T) {
+	for n := 1; n <= 2048; n++ {
+		r, c := NearSquare(n)
+		if r*c < n {
+			t.Fatalf("NearSquare(%d) = %dx%d does not cover", n, r, c)
+		}
+		if r > c {
+			t.Fatalf("NearSquare(%d) = %dx%d not row-minor", n, r, c)
+		}
+		if c > 2*r+1 {
+			t.Fatalf("NearSquare(%d) = %dx%d too elongated", n, r, c)
+		}
+	}
+}
