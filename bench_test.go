@@ -13,6 +13,7 @@ import (
 
 	"waferswitch/internal/expt"
 	"waferswitch/internal/mapping"
+	"waferswitch/internal/obs"
 	"waferswitch/internal/sim"
 	"waferswitch/internal/ssc"
 	"waferswitch/internal/topo"
@@ -156,9 +157,11 @@ func BenchmarkMappingConvergedPass(b *testing.B) {
 	}
 }
 
-// BenchmarkSimCycle measures steady-state simulator throughput in router
-// cycles per second on the Fig 23 waferscale configuration.
-func BenchmarkSimCycle(b *testing.B) {
+// benchSimCycle runs the steady-state throughput benchmark on the
+// Fig 23 waferscale configuration, with optional instrumentation
+// attached before the run.
+func benchSimCycle(b *testing.B, attach func(*sim.Network)) {
+	b.Helper()
 	ports := 512
 	chip, err := ssc.MustTH5(200).Deradix(4)
 	if err != nil {
@@ -178,6 +181,9 @@ func BenchmarkSimCycle(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	if attach != nil {
+		attach(n)
+	}
 	inj, err := sim.SyntheticInjector(traffic.Uniform(ports), 4)(0.5)
 	if err != nil {
 		b.Fatal(err)
@@ -185,6 +191,32 @@ func BenchmarkSimCycle(b *testing.B) {
 	b.ResetTimer()
 	st := n.Run(inj, 0.5)
 	b.ReportMetric(float64(st.Cycles)/float64(b.N), "cycles/op")
+}
+
+// BenchmarkSimCycle measures steady-state simulator throughput in router
+// cycles per second on the Fig 23 waferscale configuration.
+func BenchmarkSimCycle(b *testing.B) { benchSimCycle(b, nil) }
+
+// BenchmarkSimTimelineOff and BenchmarkSimTracerOff pin the cost of the
+// detached timeline/tracer nil checks in the simulation loop: both must
+// match BenchmarkSimCycle at 0 allocs/op (the observability contract —
+// one predicted branch per event site when disabled). The On variants
+// make the attached overhead visible in the same snapshot; they too
+// must stay at 0 allocs/op since both instruments preallocate.
+func BenchmarkSimTimelineOff(b *testing.B) {
+	benchSimCycle(b, func(n *sim.Network) { n.AttachTimeline(nil) })
+}
+
+func BenchmarkSimTracerOff(b *testing.B) {
+	benchSimCycle(b, func(n *sim.Network) { n.Trace(nil) })
+}
+
+func BenchmarkSimTimelineOn(b *testing.B) {
+	benchSimCycle(b, func(n *sim.Network) { n.AttachTimeline(obs.NewTimeline(200, 512)) })
+}
+
+func BenchmarkSimTracerOn(b *testing.B) {
+	benchSimCycle(b, func(n *sim.Network) { n.Trace(obs.NewFlightRecorder(1 << 16)) })
 }
 
 // benchSweep runs a 12-point load sweep over a 128-port Clos through the

@@ -22,6 +22,17 @@
 //	                           by a failing equivalence test or fuzz run)
 //	                           through the optimized and reference
 //	                           simulators and report agreement
+//	wsswitch -replay "spec" -trace f.json
+//	                           additionally record the run's packet
+//	                           lifecycle and write Chrome trace-event
+//	                           JSON (open in ui.perfetto.dev)
+//	wsswitch -http :8080 ...   serve live introspection while running:
+//	                           /metrics (Prometheus text), /timeline
+//	                           (sampler series JSON), /debug/pprof,
+//	                           /debug/vars (expvar)
+//	wsswitch -timeline N ...   attach time-resolved samplers (N-cycle
+//	                           windows) to sweeps; series attach to
+//	                           -json tables as <series>_timeline
 package main
 
 import (
@@ -34,6 +45,8 @@ import (
 	"runtime/pprof"
 
 	"waferswitch/internal/expt"
+	"waferswitch/internal/obs"
+	"waferswitch/internal/sim"
 	"waferswitch/internal/sim/refsim"
 )
 
@@ -70,21 +83,43 @@ func run() int {
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to `file`")
 	memprofile := flag.String("memprofile", "", "write heap profile to `file`")
 	replay := flag.String("replay", "", "re-run a differential-test `spec` (as printed by a failing equivalence test or fuzz run) through both simulators and report")
+	httpAddr := flag.String("http", "", "serve live introspection on `addr` (/metrics, /timeline, /debug/pprof, /debug/vars) while experiments run")
+	timeline := flag.Int("timeline", 0, "attach time-resolved samplers to simulator sweeps, one window per `cycles` (implied 200 by -http)")
+	trace := flag.String("trace", "", "with -replay: write the run's packet-lifecycle events as Chrome trace-event JSON to `file` (view in Perfetto)")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
 	if *replay != "" {
-		return runReplay(*replay)
+		return runReplay(*replay, *trace)
+	}
+	if *trace != "" {
+		fmt.Fprintln(os.Stderr, "wsswitch: -trace requires -replay")
+		return 2
 	}
 	if len(args) == 0 {
 		usage()
 		return 2
 	}
-	opts := expt.Options{Quick: *quick, Seed: *seed, Probe: *jsonOut, Workers: *workers}
+	opts := expt.Options{Quick: *quick, Seed: *seed, Probe: *jsonOut, Workers: *workers,
+		TimelineInterval: *timeline}
 	if *verbose {
 		opts.Logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{
 			Level: slog.LevelDebug,
 		}))
+	}
+	if *httpAddr != "" {
+		if opts.TimelineInterval <= 0 {
+			opts.TimelineInterval = 200 // live /timeline needs samplers
+		}
+		opts.Progress = &obs.Progress{}
+		opts.Live = &obs.LiveTimelines{}
+		srv, err := startServer(*httpAddr, opts.Progress, opts.Live)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wsswitch: %v\n", err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "wsswitch: introspection server on http://%s (/metrics /timeline /debug/pprof /debug/vars)\n", srv.Addr())
 	}
 
 	var ids []string
@@ -161,8 +196,11 @@ func run() int {
 // tuple: both simulators, full comparison, invariant checker on the
 // optimized run. Exit 0 when they agree, 1 on divergence or invariant
 // violation — so a fuzz finding reproduces outside the fuzzer with
-// nothing but the one-line spec.
-func runReplay(spec string) int {
+// nothing but the one-line spec. With traceFile set, the optimized
+// simulator runs once more with a flight recorder attached and its
+// packet-lifecycle events are written as Chrome trace-event JSON, so a
+// fuzz-found wedging spec turns into a Perfetto-viewable trace.
+func runReplay(spec, traceFile string) int {
 	s, err := refsim.ParseSpec(spec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wsswitch: %v\n", err)
@@ -174,10 +212,65 @@ func runReplay(spec string) int {
 		return 1
 	}
 	fmt.Print(rep.Summary())
+	if traceFile != "" {
+		if err := writeReplayTrace(s, traceFile); err != nil {
+			fmt.Fprintf(os.Stderr, "wsswitch: replay trace: %v\n", err)
+			return 1
+		}
+	}
 	if !rep.OK() {
 		return 1
 	}
 	return 0
+}
+
+// writeReplayTrace re-runs the spec on the optimized simulator with a
+// flight recorder and the invariant checker attached (watchdog off for
+// topologies the spec routes without deadlock freedom, matching Diff)
+// and renders the recorded events to traceFile. A wedging spec's
+// watchdog dump goes to stderr; the trace is written either way — the
+// ring retains the final events leading into the wedge, which is what
+// the post-mortem needs.
+func writeReplayTrace(s refsim.Spec, traceFile string) error {
+	top, err := s.Build()
+	if err != nil {
+		return err
+	}
+	n, err := sim.Build(top, sim.ConstantLatency(s.LinkLat), s.Config())
+	if err != nil {
+		return err
+	}
+	copt := sim.CheckOptions{}
+	if !s.DeadlockFree() {
+		copt.Watchdog = -1
+	}
+	if err := n.Check(copt); err != nil {
+		return err
+	}
+	rec := obs.NewFlightRecorder(0)
+	n.Trace(rec)
+	inj, err := s.Injector(top.ExternalPorts())
+	if err != nil {
+		return err
+	}
+	n.Run(inj, s.Load)
+	if cerr := n.CheckErr(); cerr != nil {
+		fmt.Fprintf(os.Stderr, "wsswitch: traced run: %v\n", cerr)
+	}
+	f, err := os.Create(traceFile)
+	if err != nil {
+		return err
+	}
+	if err := n.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("trace: wrote %d events to %s (%d older events dropped from the ring) — open in ui.perfetto.dev\n",
+		rec.Len(), traceFile, rec.Dropped())
+	return nil
 }
 
 func usage() {
@@ -196,6 +289,9 @@ examples:
   wsswitch -workers 1 fig22         # force serial execution (same results)
   wsswitch -cpuprofile cpu.out fig24
   wsswitch -replay "family=clos size=0 pattern=uniform link=1 vcs=2 buf=8 pkt=2 rci=1 rco=1 pipe=1 term=1 warmup=50 measure=150 drain=0 seed=42 load=0.25"
+  wsswitch -replay "..." -trace out.json   # packet-lifecycle trace for Perfetto
+  wsswitch -http :8080 fig21               # watch the sweep saturate in real time
+  wsswitch -timeline 100 -json fig22       # time-resolved series in the JSON
 `)
 	flag.PrintDefaults()
 }

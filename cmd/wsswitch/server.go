@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on http.DefaultServeMux
+	"sync"
+
+	"waferswitch/internal/obs"
+)
+
+// server is the live introspection endpoint behind `wsswitch -http`:
+// Prometheus-text /metrics and streaming /timeline fed by the running
+// experiment suite, plus the stdlib /debug/pprof and /debug/vars
+// (expvar) handlers. Everything it reads is concurrency-safe snapshot
+// state (obs.Progress, obs.LiveTimelines, and Timeline.Snapshot, which
+// tolerates the simulating goroutine writing), so serving a request
+// never perturbs simulation results.
+type server struct {
+	ln   net.Listener
+	prog *obs.Progress
+	live *obs.LiveTimelines
+}
+
+// expvar.Publish panics on duplicate names, so the progress/timeline
+// vars register once per process even if a server is started twice
+// (tests do).
+var publishVars sync.Once
+
+// startServer listens on addr and serves in a background goroutine.
+// The returned server reports the bound address (Addr), so addr may use
+// port 0.
+func startServer(addr string, prog *obs.Progress, live *obs.LiveTimelines) (*server, error) {
+	s := &server{prog: prog, live: live}
+	publishVars.Do(func() {
+		expvar.Publish("wsswitch.progress", expvar.Func(func() any { return s.prog.Snapshot() }))
+		expvar.Publish("wsswitch.timelines", expvar.Func(func() any { return s.live.Names() }))
+	})
+	http.HandleFunc("/metrics", s.metrics)
+	http.HandleFunc("/timeline", s.timeline)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wsswitch: -http %s: %w", addr, err)
+	}
+	s.ln = ln
+	go http.Serve(ln, nil) //nolint:errcheck // dies with the process
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener (in-flight handlers finish on their own).
+func (s *server) Close() error { return s.ln.Close() }
+
+// metrics serves the experiment pool's progress in Prometheus text
+// exposition format: points completed/total, elapsed and extrapolated
+// remaining seconds, per-worker current experiment, and the number of
+// live timeline series.
+func (s *server) metrics(w http.ResponseWriter, _ *http.Request) {
+	snap := s.prog.Snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprintf(w, "# HELP wsswitch_points_total Simulation points announced by the experiment suite.\n")
+	fmt.Fprintf(w, "# TYPE wsswitch_points_total gauge\n")
+	fmt.Fprintf(w, "wsswitch_points_total %d\n", snap.Total)
+	fmt.Fprintf(w, "# HELP wsswitch_points_done Simulation points completed.\n")
+	fmt.Fprintf(w, "# TYPE wsswitch_points_done gauge\n")
+	fmt.Fprintf(w, "wsswitch_points_done %d\n", snap.Done)
+	fmt.Fprintf(w, "# HELP wsswitch_elapsed_seconds Wall time since the first point was announced.\n")
+	fmt.Fprintf(w, "# TYPE wsswitch_elapsed_seconds gauge\n")
+	fmt.Fprintf(w, "wsswitch_elapsed_seconds %g\n", snap.ElapsedSeconds)
+	fmt.Fprintf(w, "# HELP wsswitch_eta_seconds Remaining time extrapolated from the completion rate.\n")
+	fmt.Fprintf(w, "# TYPE wsswitch_eta_seconds gauge\n")
+	fmt.Fprintf(w, "wsswitch_eta_seconds %g\n", snap.ETASeconds)
+	fmt.Fprintf(w, "# HELP wsswitch_worker_busy Pool workers and their current experiment point.\n")
+	fmt.Fprintf(w, "# TYPE wsswitch_worker_busy gauge\n")
+	for _, ws := range snap.Workers {
+		fmt.Fprintf(w, "wsswitch_worker_busy{worker=%q,running=%q} 1\n", ws.Worker, ws.Running)
+	}
+	fmt.Fprintf(w, "# HELP wsswitch_timelines Registered live timeline series.\n")
+	fmt.Fprintf(w, "# TYPE wsswitch_timelines gauge\n")
+	fmt.Fprintf(w, "wsswitch_timelines %d\n", len(s.live.Names()))
+}
+
+// timeline streams the sampler series of running (and finished)
+// simulation points as JSON: every registered series by default, one
+// series with ?name=<series>. Sampler snapshots exclude the open window
+// and copy under the sampler's lock, so polling this endpoint while a
+// sweep executes is safe and shows the saturation curve forming in real
+// time.
+func (s *server) timeline(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if name := r.URL.Query().Get("name"); name != "" {
+		snaps := s.live.Snapshot()
+		snap, ok := snaps[name]
+		if !ok {
+			http.Error(w, fmt.Sprintf("unknown timeline %q (see /timeline for all)", name), http.StatusNotFound)
+			return
+		}
+		enc.Encode(snap) //nolint:errcheck // client gone
+		return
+	}
+	enc.Encode(s.live.Snapshot()) //nolint:errcheck // client gone
+}

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"waferswitch/internal/expt"
+	"waferswitch/internal/obs"
+	"waferswitch/internal/sim/refsim"
+)
+
+// get fetches a path from the server and returns status + body.
+func get(t *testing.T, srv *server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get("http://" + srv.Addr() + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", path, err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// The introspection server must expose /metrics (Prometheus text),
+// /timeline (series JSON), expvar and pprof — while an experiment runs
+// and reports into the shared Progress/LiveTimelines, without changing
+// its results.
+func TestServerEndpointsDuringRun(t *testing.T) {
+	prog := &obs.Progress{}
+	live := &obs.LiveTimelines{}
+	srv, err := startServer("127.0.0.1:0", prog, live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Baseline: the experiment without any introspection attached.
+	plain, err := expt.Run("fig21", expt.Options{Quick: true, Seed: 3, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Poll the endpoints concurrently with the instrumented run.
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			get(t, srv, "/metrics")
+			get(t, srv, "/timeline")
+		}
+	}()
+	served, err := expt.Run("fig21", expt.Options{Quick: true, Seed: 3, Workers: 2,
+		Progress: prog, Live: live, TimelineInterval: 100})
+	close(done)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(plain.Rows) != fmt.Sprint(served.Rows) {
+		t.Errorf("live serving perturbed results:\nplain  %v\nserved %v", plain.Rows, served.Rows)
+	}
+
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE wsswitch_points_total gauge", "wsswitch_points_total",
+		"wsswitch_points_done", "wsswitch_elapsed_seconds", "wsswitch_eta_seconds",
+		"wsswitch_timelines",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	if s := prog.Snapshot(); s.Done == 0 || s.Done != s.Total {
+		t.Errorf("progress after the run: %d/%d", s.Done, s.Total)
+	}
+
+	code, body = get(t, srv, "/timeline")
+	if code != http.StatusOK {
+		t.Fatalf("/timeline: status %d", code)
+	}
+	var all map[string]*obs.TimelineSnapshot
+	if err := json.Unmarshal([]byte(body), &all); err != nil {
+		t.Fatalf("/timeline not valid JSON: %v", err)
+	}
+	if len(all) == 0 {
+		t.Fatal("/timeline has no series after a timeline-enabled run")
+	}
+	var name string
+	for n, snap := range all {
+		if len(snap.Samples) > 0 {
+			name = n
+			break
+		}
+	}
+	if name == "" {
+		t.Fatal("every /timeline series is empty")
+	}
+	if !strings.HasPrefix(name, "fig21/") || !strings.Contains(name, "/load=") {
+		t.Errorf("series name %q not in fig21/<cell>/load=<l> form", name)
+	}
+
+	code, body = get(t, srv, "/timeline?name="+name)
+	if code != http.StatusOK {
+		t.Fatalf("/timeline?name=%s: status %d", name, code)
+	}
+	var one obs.TimelineSnapshot
+	if err := json.Unmarshal([]byte(body), &one); err != nil {
+		t.Fatalf("single-series /timeline not valid JSON: %v", err)
+	}
+	if code, _ = get(t, srv, "/timeline?name=nope"); code != http.StatusNotFound {
+		t.Errorf("unknown series returned status %d, want 404", code)
+	}
+
+	// expvar and pprof ride on DefaultServeMux.
+	code, body = get(t, srv, "/debug/vars")
+	if code != http.StatusOK || !strings.Contains(body, "wsswitch.progress") {
+		t.Errorf("/debug/vars status %d, wsswitch.progress present: %v", code, strings.Contains(body, "wsswitch.progress"))
+	}
+	if code, _ = get(t, srv, "/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline: status %d", code)
+	}
+}
+
+// A traced replay must write valid Chrome trace-event JSON for the
+// pinned wedging spec (and still report the wedge on stderr).
+func TestWriteReplayTraceWedgingSpec(t *testing.T) {
+	spec := "family=dfly size=1 pattern=uniform link=1 vcs=1 buf=2 pkt=2 rci=1 rco=1 pipe=0 term=1 warmup=100 measure=1500 drain=4000 seed=2 load=0.95"
+	s, err := refsim.ParseSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "wedge.json")
+	if err := writeReplayTrace(s, out); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("trace file is invalid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) < 10 {
+		t.Errorf("wedge trace has only %d events", len(doc.TraceEvents))
+	}
+}

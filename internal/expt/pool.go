@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"waferswitch/internal/obs"
 )
 
 // Pool bounds the goroutines an experiment fans its independent points
@@ -27,6 +29,11 @@ type Pool struct {
 	// experiment label when the pool comes from Options.pool()); nil
 	// means context.Background().
 	ctx context.Context
+
+	// progress, when non-nil, receives the point total up front, a tick
+	// per completed point, and each worker's current assignment (set by
+	// Options.pool() from Options.Progress).
+	progress *obs.Progress
 }
 
 func (p Pool) context() context.Context {
@@ -70,6 +77,24 @@ func (p Pool) Each(name string, n int, fn func(i int) error) error {
 		}()
 		return fn(i)
 	}
+	// run wraps call with progress reporting: the worker's current
+	// assignment is published before the point and cleared after, and
+	// completion is ticked whether or not the point erred (the ledger
+	// counts attempts against the announced total).
+	run := func(worker string, i int) error {
+		if p.progress != nil {
+			p.progress.SetWorker(worker, fmt.Sprintf("%s/point=%d", name, i))
+		}
+		err := call(i)
+		if p.progress != nil {
+			p.progress.SetWorker(worker, "")
+			p.progress.PointDone()
+		}
+		return err
+	}
+	if p.progress != nil {
+		p.progress.AddTotal(n)
+	}
 	errs := make([]error, n)
 	workers := p.size(n)
 	if workers == 1 {
@@ -78,7 +103,7 @@ func (p Pool) Each(name string, n int, fn func(i int) error) error {
 		pprof.Do(p.context(), pprof.Labels("expt", name),
 			func(context.Context) {
 				for i := 0; i < n; i++ {
-					errs[i] = call(i)
+					errs[i] = run(name+"/w0", i)
 				}
 			})
 	} else {
@@ -91,13 +116,14 @@ func (p Pool) Each(name string, n int, fn func(i int) error) error {
 				pprof.Do(p.context(),
 					pprof.Labels("expt", name, "worker", strconv.Itoa(worker)),
 					func(ctx context.Context) {
+						wname := name + "/w" + strconv.Itoa(worker)
 						for {
 							i := int(next.Add(1)) - 1
 							if i >= n {
 								return
 							}
 							pprof.Do(ctx, pprof.Labels("point", strconv.Itoa(i)),
-								func(context.Context) { errs[i] = call(i) })
+								func(context.Context) { errs[i] = run(wname, i) })
 						}
 					})
 			}(w)

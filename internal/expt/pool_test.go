@@ -79,7 +79,7 @@ func smallSweep(t *testing.T, workers int) *sim.SweepResult {
 		WarmupCycles: 200, MeasureCycles: 400, Seed: 11,
 	}
 	o := Options{Probe: true, Workers: workers}
-	res, err := runSweep(o,
+	res, err := runSweep(o, "test/small",
 		func() (*sim.Network, error) { return sim.Build(cl, sim.ConstantLatency(1), cfg) },
 		sim.SyntheticInjector(traffic.Uniform(128), 4),
 		[]float64{0.1, 0.25, 0.4, 0.55})

@@ -78,7 +78,7 @@ func (o Options) baselineConfig(warm, measure int, numVCs, buf, pkt int) sim.Con
 // sweepAttach attaches the raw stats of a sweep series plus its summary
 // to the table under the given series name; with probes enabled it also
 // attaches the per-point probe snapshots and the merged-across-points
-// aggregate.
+// aggregate, and with timelines enabled the merged time-resolved series.
 func sweepAttach(t *Table, o Options, series string, res *sim.SweepResult) {
 	stats := res.Stats()
 	t.Attach(series+"_stats", stats)
@@ -89,13 +89,24 @@ func sweepAttach(t *Table, o Options, series string, res *sim.SweepResult) {
 			t.Attach(series+"_aggregate", res.Aggregate)
 		}
 	}
+	if res.Timeline != nil {
+		t.Attach(series+"_timeline", res.Timeline)
+	}
 }
 
 // runSweep executes one load sweep through the parallel sweep engine,
 // fanning load points across o.Workers goroutines, with probes when
-// o.Probe is set.
-func runSweep(o Options, build sim.Builder, injf sim.InjectorFactory, loads []float64) (*sim.SweepResult, error) {
-	return sim.Sweep(build, injf, loads, sim.SweepOptions{Workers: o.Workers, Probe: o.Probe, Ctx: o.context()})
+// o.Probe is set, timelines when o.TimelineInterval is set, and live
+// progress/series registration when o.Progress/o.Live are wired to an
+// introspection server. name keys the live timeline entries (points
+// append "/load=<load>").
+func runSweep(o Options, name string, build sim.Builder, injf sim.InjectorFactory, loads []float64) (*sim.SweepResult, error) {
+	return sim.Sweep(build, injf, loads, sim.SweepOptions{
+		Workers: o.Workers, Probe: o.Probe, Ctx: o.context(),
+		TimelineInterval: o.TimelineInterval,
+		Live:             o.Live, LiveName: name,
+		Progress: o.Progress,
+	})
 }
 
 // fig21 reproduces the buffer-sizing study: saturation throughput vs
@@ -129,17 +140,27 @@ func fig21(o Options) (*Table, error) {
 		loads = []float64{0.5, 0.9}
 	}
 	// The buffers x latencies grid is embarrassingly parallel: fan cells
-	// across the pool into index slots, then emit rows serially.
+	// across the pool into index slots, then emit rows serially. Each cell
+	// runs its inner load sweep serially (Workers: 1) — the grid is the
+	// parallel axis — but still threads timeline/live options through, so
+	// a -http server can watch a cell's sweep saturate in real time. The
+	// pool already announces the cells to Progress, so the inner sweeps do
+	// not report (that would double-count).
 	sats := make([]float64, len(buffers)*len(lats))
 	err = o.pool().Each("fig21", len(sats), func(idx int) error {
 		buf, lat := buffers[idx/len(lats)], lats[idx%len(lats)]
 		cfg := o.waferscaleConfig(warm, measure, 8, buf, 4)
 		build := func() (*sim.Network, error) { return sim.Build(cl, sim.ConstantLatency(lat), cfg) }
-		stats, err := sim.LatencyVsLoad(build, sim.SyntheticInjector(traffic.Uniform(ports), 4), loads)
+		res, err := sim.Sweep(build, sim.SyntheticInjector(traffic.Uniform(ports), 4), loads, sim.SweepOptions{
+			Workers: 1, Ctx: o.context(),
+			TimelineInterval: o.TimelineInterval,
+			Live:             o.Live,
+			LiveName:         fmt.Sprintf("fig21/buf=%d/lat=%d", buf, lat),
+		})
 		if err != nil {
 			return err
 		}
-		sats[idx] = sim.SaturationThroughput(stats)
+		sats[idx] = sim.SaturationThroughput(res.Stats())
 		return nil
 	})
 	if err != nil {
@@ -184,11 +205,11 @@ func fig22(o Options) (*Table, error) {
 	prop := base
 	prop.RCIngress, prop.RCOther = 2, 1
 	injf := sim.SyntheticInjector(traffic.Uniform(ports), 4)
-	rBase, err := runSweep(o, func() (*sim.Network, error) { return sim.Build(cl, sim.ConstantLatency(1), base) }, injf, o.simLoads())
+	rBase, err := runSweep(o, "fig22/baseline", func() (*sim.Network, error) { return sim.Build(cl, sim.ConstantLatency(1), base) }, injf, o.simLoads())
 	if err != nil {
 		return nil, err
 	}
-	rProp, err := runSweep(o, func() (*sim.Network, error) { return sim.Build(cl, sim.ConstantLatency(1), prop) }, injf, o.simLoads())
+	rProp, err := runSweep(o, "fig22/proprietary", func() (*sim.Network, error) { return sim.Build(cl, sim.ConstantLatency(1), prop) }, injf, o.simLoads())
 	if err != nil {
 		return nil, err
 	}
@@ -244,11 +265,11 @@ func fig23(o Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		wsRes, err := runSweep(o, wsBuild, injf, o.simLoads())
+		wsRes, err := runSweep(o, "fig23/waferscale_"+pat.Name, wsBuild, injf, o.simLoads())
 		if err != nil {
 			return nil, err
 		}
-		netRes, err := runSweep(o, netBuild, injf, o.simLoads())
+		netRes, err := runSweep(o, "fig23/network_"+pat.Name, netBuild, injf, o.simLoads())
 		if err != nil {
 			return nil, err
 		}
@@ -296,11 +317,11 @@ func fig24(o Options) (*Table, error) {
 	netCfg := o.baselineConfig(warm, measure, 16, 24, 4)
 	for _, trc := range traces {
 		injf := sim.TraceInjectorFactory(trc)
-		wsRes, err := runSweep(o, func() (*sim.Network, error) { return sim.Build(cl, sim.ConstantLatency(1), wsCfg) }, injf, o.simLoads())
+		wsRes, err := runSweep(o, "fig24/waferscale_"+trc.Name, func() (*sim.Network, error) { return sim.Build(cl, sim.ConstantLatency(1), wsCfg) }, injf, o.simLoads())
 		if err != nil {
 			return nil, err
 		}
-		netRes, err := runSweep(o, func() (*sim.Network, error) { return sim.Build(cl, sim.ConstantLatency(8), netCfg) }, injf, o.simLoads())
+		netRes, err := runSweep(o, "fig24/network_"+trc.Name, func() (*sim.Network, error) { return sim.Build(cl, sim.ConstantLatency(8), netCfg) }, injf, o.simLoads())
 		if err != nil {
 			return nil, err
 		}

@@ -12,6 +12,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"waferswitch/internal/obs"
 )
 
 // Table is the result of one experiment: the rows of a paper table, or
@@ -124,13 +126,28 @@ type Options struct {
 	// point order after the barrier.
 	Workers int
 
+	// Progress, when non-nil, receives point totals up front and a tick
+	// per completed point from the pool and the sweep engine, plus each
+	// pool worker's current assignment — the feed behind the live
+	// introspection server's /metrics and expvar output. Reporting is
+	// off the simulator's cycle path, so results are unchanged.
+	Progress *obs.Progress
+	// Live, when non-nil, registers per-point timeline samplers (named
+	// "<series>/load=<load>") for the /timeline handler to stream while
+	// points are still running. Requires TimelineInterval > 0.
+	Live *obs.LiveTimelines
+	// TimelineInterval, when positive, attaches a time-resolved sampler
+	// (window length in cycles) to every simulator sweep point; the
+	// merged series attaches to result tables as "<series>_timeline".
+	TimelineInterval int
+
 	// ctx carries the experiment's pprof label context, set by Run, so
 	// worker goroutines add their worker/point labels to the experiment
 	// label instead of replacing it.
 	ctx context.Context
 }
 
-func (o Options) pool() Pool { return Pool{Workers: o.Workers, ctx: o.ctx} }
+func (o Options) pool() Pool { return Pool{Workers: o.Workers, ctx: o.ctx, progress: o.Progress} }
 
 func (o Options) context() context.Context {
 	if o.ctx != nil {

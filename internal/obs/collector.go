@@ -204,8 +204,16 @@ func (c *Collector) Snapshot(topN int) *Snapshot {
 			order[i] = i
 		}
 		s.ChannelUtilMean = sum / float64(len(c.Channels))
+		// Order by (flits desc, channel index asc): the index tie-break
+		// makes snapshots byte-stable across runs — sort.Slice is not
+		// stable, so equal flit counts would otherwise surface in
+		// nondeterministic order.
 		sort.Slice(order, func(a, b int) bool {
-			return c.Channels[order[a]].Flits > c.Channels[order[b]].Flits
+			fa, fb := c.Channels[order[a]].Flits, c.Channels[order[b]].Flits
+			if fa != fb {
+				return fa > fb
+			}
+			return order[a] < order[b]
 		})
 		if topN > len(order) {
 			topN = len(order)

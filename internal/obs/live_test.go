@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"encoding/json"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestProgressSnapshot(t *testing.T) {
+	var p Progress
+	s := p.Snapshot()
+	if s.Total != 0 || s.Done != 0 || s.ElapsedSeconds != 0 || len(s.Workers) != 0 {
+		t.Errorf("zero-value snapshot not empty: %+v", s)
+	}
+	p.AddTotal(10)
+	p.AddTotal(5)
+	for i := 0; i < 6; i++ {
+		p.PointDone()
+	}
+	p.SetWorker("fig21/w1", "fig21/point=3")
+	p.SetWorker("fig21/w0", "fig21/point=2")
+	s = p.Snapshot()
+	if s.Total != 15 || s.Done != 6 {
+		t.Errorf("progress %d/%d, want 6/15", s.Done, s.Total)
+	}
+	if s.ElapsedSeconds < 0 || s.ETASeconds < 0 {
+		t.Errorf("negative times: %+v", s)
+	}
+	// Workers sort by name so snapshots are deterministic.
+	if len(s.Workers) != 2 || s.Workers[0].Worker != "fig21/w0" || s.Workers[1].Running != "fig21/point=3" {
+		t.Errorf("workers wrong: %+v", s.Workers)
+	}
+	p.SetWorker("fig21/w0", "") // idle clears the entry
+	if s = p.Snapshot(); len(s.Workers) != 1 {
+		t.Errorf("idle worker not cleared: %+v", s.Workers)
+	}
+	if _, err := json.Marshal(s); err != nil {
+		t.Errorf("snapshot not JSON-marshalable: %v", err)
+	}
+}
+
+// Progress is shared by pool workers and the HTTP handler; hammer it
+// from several goroutines under -race.
+func TestProgressConcurrent(t *testing.T) {
+	var p Progress
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := string(rune('a' + w))
+			p.AddTotal(100)
+			for i := 0; i < 100; i++ {
+				p.SetWorker(name, "point")
+				p.PointDone()
+				p.SetWorker(name, "")
+				_ = p.Snapshot()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s := p.Snapshot(); s.Total != 400 || s.Done != 400 {
+		t.Errorf("progress %d/%d after concurrent run, want 400/400", s.Done, s.Total)
+	}
+}
+
+func TestLiveTimelines(t *testing.T) {
+	var l LiveTimelines
+	if n := l.Names(); len(n) != 0 {
+		t.Errorf("empty registry lists %v", n)
+	}
+	a, b := NewTimeline(4, 8), NewTimeline(4, 8)
+	feedTimeline(a, 12, 1, func(int) float64 { return 5 })
+	l.Attach("fig21/buf=8/lat=1/load=0.5", a)
+	l.Attach("fig21/buf=8/lat=1/load=0.9", b)
+	if got := l.Names(); !reflect.DeepEqual(got, []string{"fig21/buf=8/lat=1/load=0.5", "fig21/buf=8/lat=1/load=0.9"}) {
+		t.Errorf("names = %v", got)
+	}
+	snaps := l.Snapshot()
+	if len(snaps) != 2 {
+		t.Fatalf("snapshot has %d series, want 2", len(snaps))
+	}
+	if s := snaps["fig21/buf=8/lat=1/load=0.5"]; len(s.Samples) != 3 {
+		t.Errorf("fed series has %d samples, want 3", len(s.Samples))
+	}
+	if s := snaps["fig21/buf=8/lat=1/load=0.9"]; len(s.Samples) != 0 {
+		t.Errorf("unfed series has %d samples, want 0", len(s.Samples))
+	}
+	l.Detach("fig21/buf=8/lat=1/load=0.5")
+	if got := l.Names(); len(got) != 1 {
+		t.Errorf("detach left %v", got)
+	}
+}
+
+// Registry reads must tolerate concurrent attaches and snapshots of
+// timelines that simulating goroutines are feeding (-race coverage for
+// the live serving path).
+func TestLiveTimelinesConcurrent(t *testing.T) {
+	var l LiveTimelines
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			tl := NewTimeline(2, 8)
+			l.Attach(string(rune('a'+i%8)), tl)
+			tl.NoteInject()
+			if tl.Tick(1) {
+				tl.EndInterval(1)
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		_ = l.Snapshot()
+		_ = l.Names()
+	}
+	close(done)
+	wg.Wait()
+}

@@ -175,6 +175,37 @@ func TestCollectorSnapshot(t *testing.T) {
 	}
 }
 
+// Snapshots must be byte-stable: equal flit counts break ties by
+// channel index, so repeated snapshots of the same counters (and runs
+// on different machines) serialize identically.
+func TestHotChannelsTieBreak(t *testing.T) {
+	c := NewCollector(1, 6)
+	c.Cycles = 100
+	for i := range c.Channels {
+		c.Channels[i].Flits = 50 // all tied
+	}
+	c.Channels[4].Flits = 80
+	want := []int{4, 0, 1, 2, 3}
+	var first []byte
+	for trial := 0; trial < 20; trial++ {
+		s := c.Snapshot(5)
+		for i, hc := range s.HotChannels {
+			if hc.Channel != want[i] {
+				t.Fatalf("trial %d: hot channel order %v at rank %d, want %v", trial, hc.Channel, i, want[i])
+			}
+		}
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = b
+		} else if string(b) != string(first) {
+			t.Fatalf("trial %d: snapshot bytes changed", trial)
+		}
+	}
+}
+
 func TestCollectorReset(t *testing.T) {
 	c := NewCollector(1, 1)
 	c.Cycles, c.Injected = 5, 5

@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"encoding/json"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// feedTimeline drives tl through cycles simulated cycles: every cycle
+// injects one flit with occupancy occ, ejects one flit, and retires one
+// packet at latency lat(cycle).
+func feedTimeline(tl *Timeline, cycles int, occ int64, lat func(cycle int) float64) {
+	for c := 0; c < cycles; c++ {
+		tl.NoteInject()
+		tl.NoteEject()
+		tl.NoteRetire(lat(c))
+		if tl.Tick(occ) {
+			tl.EndInterval(1)
+		}
+	}
+	tl.Finish(1)
+}
+
+func TestTimelineWindows(t *testing.T) {
+	tl := NewTimeline(10, 64)
+	feedTimeline(tl, 35, 4, func(int) float64 { return 20 })
+	s := tl.Snapshot()
+	if s.Interval != 10 {
+		t.Errorf("interval = %d, want 10", s.Interval)
+	}
+	// 35 cycles at interval 10: three full windows plus a 5-cycle tail.
+	if len(s.Samples) != 4 {
+		t.Fatalf("samples = %d, want 4", len(s.Samples))
+	}
+	for i, p := range s.Samples[:3] {
+		if p.Start != int64(i)*10 || p.Cycles != 10 {
+			t.Errorf("sample %d covers [%d, +%d), want [%d, +10)", i, p.Start, p.Cycles, i*10)
+		}
+		if p.Injected != 10 || p.Ejected != 10 || p.Retired != 10 {
+			t.Errorf("sample %d counts %d/%d/%d, want 10/10/10", i, p.Injected, p.Ejected, p.Retired)
+		}
+		if p.MeanLatency != 20 || p.P99Latency != 20 {
+			t.Errorf("sample %d latency mean=%v p99=%v, want 20/20", i, p.MeanLatency, p.P99Latency)
+		}
+		if p.MeanQueueOcc != 4 {
+			t.Errorf("sample %d occupancy %v, want 4", i, p.MeanQueueOcc)
+		}
+		if p.TopChannelUtil != 0.1 {
+			t.Errorf("sample %d top util %v, want 0.1", i, p.TopChannelUtil)
+		}
+	}
+	if tail := s.Samples[3]; tail.Start != 30 || tail.Cycles != 5 || tail.Injected != 5 {
+		t.Errorf("tail window wrong: %+v", tail)
+	}
+}
+
+// The sampler's memory is fixed: running far past maxSamples windows
+// must coalesce pairwise and double the interval, never grow the store,
+// while the series keeps covering the whole run with nothing lost.
+func TestTimelineCompaction(t *testing.T) {
+	tl := NewTimeline(2, 8)
+	const cycles = 400
+	feedTimeline(tl, cycles, 1, func(int) float64 { return 7 })
+	s := tl.Snapshot()
+	if len(s.Samples) > 8 {
+		t.Fatalf("store grew to %d samples, cap 8", len(s.Samples))
+	}
+	if s.Interval <= 2 {
+		t.Errorf("interval stayed %d; compaction should have doubled it", s.Interval)
+	}
+	var covered, injected int64
+	prevEnd := int64(0)
+	for i, p := range s.Samples {
+		if p.Start != prevEnd {
+			t.Errorf("sample %d starts at %d, want contiguous %d", i, p.Start, prevEnd)
+		}
+		prevEnd = p.Start + p.Cycles
+		covered += p.Cycles
+		injected += p.Injected
+	}
+	if covered != cycles || injected != cycles {
+		t.Errorf("series covers %d cycles / %d injects, want %d of each", covered, injected, cycles)
+	}
+}
+
+// Merging per-point series must be independent of how the points were
+// grouped: one sampler fed everything vs per-point samplers merged in
+// point order must produce identical snapshots (the sweep engine's
+// serial-vs-parallel determinism rests on this).
+func TestTimelineMergeDeterministic(t *testing.T) {
+	lat := func(c int) float64 { return float64(10 + c%13) }
+	mk := func(cycles int) *Timeline {
+		tl := NewTimeline(5, 16)
+		feedTimeline(tl, cycles, 2, lat)
+		return tl
+	}
+	// Unequal lengths force interval coarsening during the merge.
+	lengths := []int{40, 200, 90}
+
+	merged := NewTimeline(5, 16)
+	for _, l := range lengths {
+		if err := merged.Merge(mk(l)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	again := NewTimeline(5, 16)
+	for _, l := range lengths {
+		if err := again.Merge(mk(l)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, b := merged.Snapshot(), again.Snapshot()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("identical merges diverge:\n%+v\n%+v", a, b)
+	}
+	ja, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Error("merged snapshots are not byte-identical as JSON")
+	}
+
+	var total int64
+	for _, p := range a.Samples {
+		total += p.Injected
+	}
+	if want := int64(40 + 200 + 90); total != want {
+		t.Errorf("merged series injects %d, want %d", total, want)
+	}
+}
+
+func TestTimelineMergeEmptyAndNil(t *testing.T) {
+	tl := NewTimeline(4, 8)
+	if err := tl.Merge(nil); err != nil {
+		t.Errorf("nil merge: %v", err)
+	}
+	if err := tl.Merge(NewTimeline(4, 8)); err != nil {
+		t.Errorf("empty merge: %v", err)
+	}
+	if len(tl.Snapshot().Samples) != 0 {
+		t.Error("merging nothing produced samples")
+	}
+	// Merging into an empty timeline adopts the source series.
+	src := NewTimeline(4, 8)
+	feedTimeline(src, 20, 1, func(int) float64 { return 3 })
+	if err := tl.Merge(src); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tl.Snapshot(), src.Snapshot()) {
+		t.Error("merge into empty timeline is not the identity")
+	}
+}
+
+// TimelineSnapshot must round-trip through JSON with the documented
+// keys intact.
+func TestTimelineSnapshotJSONRoundTrip(t *testing.T) {
+	tl := NewTimeline(10, 16)
+	feedTimeline(tl, 25, 3, func(c int) float64 { return float64(15 + c) })
+	s := tl.Snapshot()
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TimelineSnapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*s, back) {
+		t.Errorf("round trip changed the snapshot:\n%+v\n%+v", *s, back)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(b, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["interval"]; !ok {
+		t.Error("snapshot JSON missing key \"interval\"")
+	}
+	var rawSamples struct {
+		Samples []map[string]any `json:"samples"`
+	}
+	if err := json.Unmarshal(b, &rawSamples); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"start_cycle", "cycles", "injected_flits", "ejected_flits",
+		"retired_packets", "mean_latency", "p99_latency", "top_channel_util", "mean_queue_occ"} {
+		if _, ok := rawSamples.Samples[0][key]; !ok {
+			t.Errorf("sample JSON missing key %q", key)
+		}
+	}
+}
+
+// The per-event and per-cycle paths must not allocate: they run inside
+// the simulator's steady-state loop.
+func TestTimelineHooksNoAllocs(t *testing.T) {
+	tl := NewTimeline(16, 0)
+	// Warm through several compactions first so append never regrows.
+	feedTimeline(tl, 16*defaultTimelineSamples*4, 1, func(int) float64 { return 5 })
+	if avg := testing.AllocsPerRun(2000, func() {
+		tl.NoteInject()
+		tl.NoteEject()
+		tl.NoteRetire(12)
+		if tl.Tick(3) {
+			tl.EndInterval(2)
+		}
+	}); avg != 0 {
+		t.Errorf("timeline hooks allocate %v allocs/op, want 0", avg)
+	}
+}
+
+// Snapshot must be safe to call while a writer goroutine is feeding the
+// timeline — the live /timeline handler does exactly that. Run under
+// -race via make check.
+func TestTimelineConcurrentSnapshot(t *testing.T) {
+	tl := NewTimeline(4, 32)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			tl.NoteInject()
+			tl.NoteRetire(float64(i % 50))
+			if tl.Tick(1) {
+				tl.EndInterval(1)
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		s := tl.Snapshot()
+		for j, p := range s.Samples {
+			if p.Cycles == 0 {
+				t.Errorf("snapshot %d sample %d has zero cycles (open window leaked)", i, j)
+			}
+		}
+		_ = tl.Interval()
+	}
+	close(done)
+	wg.Wait()
+}

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// TraceKind identifies one packet-lifecycle event. The simulator records
+// head-of-packet pipeline entries, so a packet's trace reads as inject →
+// (RC → VA → ST)* per hop → eject.
+type TraceKind uint8
+
+const (
+	// TraceInject: the packet's head flit entered its terminal injection
+	// channel. Router is -1; Arg is the injecting terminal.
+	TraceInject TraceKind = iota
+	// TraceRC: route computation finished at a router. Arg is the chosen
+	// output port.
+	TraceRC
+	// TraceVA: the packet won virtual-channel allocation. Arg is the
+	// granted output VC.
+	TraceVA
+	// TraceST: the packet's head flit won switch allocation and traversed
+	// the crossbar. Arg is the output port.
+	TraceST
+	// TraceEject: the packet's tail flit left through a terminal sink.
+	// Arg is the destination terminal.
+	TraceEject
+)
+
+var traceKindNames = [...]string{"inject", "rc", "va", "st", "eject"}
+
+func (k TraceKind) String() string {
+	if int(k) < len(traceKindNames) {
+		return traceKindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// TraceEvent is one packet-lifecycle event. The struct is flat and
+// comparable so the flight recorder's ring is a single allocation.
+type TraceEvent struct {
+	Cycle  int64
+	Packet int32
+	// Router is the router the event happened at, -1 for terminal-side
+	// events (inject).
+	Router int32
+	Kind   TraceKind
+	// Arg is kind-specific: terminal for inject/eject, output port for
+	// RC/ST, output VC for VA.
+	Arg int32
+}
+
+func (e TraceEvent) String() string {
+	return fmt.Sprintf("cycle %d pkt %d router %d %s arg %d",
+		e.Cycle, e.Packet, e.Router, e.Kind, e.Arg)
+}
+
+// FlightRecorder is a bounded ring buffer of TraceEvents: recording
+// never allocates and never stops, old events are overwritten, and the
+// survivors are the last capacity events — exactly what a deadlock dump
+// or a post-mortem needs. It is single-writer (the simulating
+// goroutine) and must not be read concurrently with recording.
+type FlightRecorder struct {
+	buf  []TraceEvent
+	next int64 // total events ever recorded
+}
+
+const defaultFlightRecorderCap = 1 << 16
+
+// NewFlightRecorder returns a recorder holding the last capacity events
+// (<= 0 means the 65536-event default).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = defaultFlightRecorderCap
+	}
+	return &FlightRecorder{buf: make([]TraceEvent, capacity)}
+}
+
+// Record appends one event, overwriting the oldest when full.
+func (r *FlightRecorder) Record(ev TraceEvent) {
+	r.buf[r.next%int64(len(r.buf))] = ev
+	r.next++
+}
+
+// Len returns the number of retained events.
+func (r *FlightRecorder) Len() int {
+	if r.next < int64(len(r.buf)) {
+		return int(r.next)
+	}
+	return len(r.buf)
+}
+
+// Dropped returns how many events were overwritten by newer ones.
+func (r *FlightRecorder) Dropped() int64 {
+	if d := r.next - int64(len(r.buf)); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// Events returns the retained events in recording order (oldest first).
+func (r *FlightRecorder) Events() []TraceEvent {
+	n := r.Len()
+	out := make([]TraceEvent, 0, n)
+	start := r.next - int64(n)
+	for i := int64(0); i < int64(n); i++ {
+		out = append(out, r.buf[(start+i)%int64(len(r.buf))])
+	}
+	return out
+}
+
+// LastByRouter returns the most recent k retained events at the given
+// router, oldest first — the flight-recorder excerpt a deadlock dump
+// attaches per stuck router.
+func (r *FlightRecorder) LastByRouter(router int32, k int) []TraceEvent {
+	var out []TraceEvent
+	n := int64(r.Len())
+	for i := int64(1); i <= n && len(out) < k; i++ {
+		ev := r.buf[(r.next-i)%int64(len(r.buf))]
+		if ev.Router == router {
+			out = append(out, ev)
+		}
+	}
+	// Collected newest-first; reverse to chronological order.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// WriteChromeTrace renders events as Chrome trace-event JSON (the
+// "JSON Array Format" with a traceEvents wrapper), viewable in Perfetto
+// (ui.perfetto.dev) or chrome://tracing. One simulation cycle maps to
+// one microsecond of trace time so the default zoom is legible.
+//
+// Layout: every router is a thread of process 1 ("fabric") carrying
+// instant events for RC/VA/ST pipeline entries; terminals are threads of
+// process 2 ("terminals") carrying inject/eject instants; and each
+// packet additionally gets an async span (ph b/e, id = packet) from
+// inject to eject, so packet lifetimes render as horizontal bars.
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+	bw.WriteString(`{"ph":"M","pid":1,"name":"process_name","args":{"name":"fabric"}}`)
+	bw.WriteString(",\n")
+	bw.WriteString(`{"ph":"M","pid":2,"name":"process_name","args":{"name":"terminals"}}`)
+	emit := func(format string, args ...any) {
+		bw.WriteString(",\n")
+		fmt.Fprintf(bw, format, args...)
+	}
+	for _, ev := range events {
+		name := ev.Kind.String()
+		switch ev.Kind {
+		case TraceInject:
+			emit(`{"name":"inject pkt %d","ph":"i","s":"t","ts":%d,"pid":2,"tid":%d,"args":{"packet":%d}}`,
+				ev.Packet, ev.Cycle, ev.Arg, ev.Packet)
+			emit(`{"name":"pkt %d","cat":"packet","ph":"b","id":%d,"ts":%d,"pid":2,"tid":%d}`,
+				ev.Packet, ev.Packet, ev.Cycle, ev.Arg)
+		case TraceEject:
+			emit(`{"name":"eject pkt %d","ph":"i","s":"t","ts":%d,"pid":2,"tid":%d,"args":{"packet":%d,"router":%d}}`,
+				ev.Packet, ev.Cycle, ev.Arg, ev.Packet, ev.Router)
+			emit(`{"name":"pkt %d","cat":"packet","ph":"e","id":%d,"ts":%d,"pid":2,"tid":%d}`,
+				ev.Packet, ev.Packet, ev.Cycle, ev.Arg)
+		default:
+			emit(`{"name":"%s pkt %d","ph":"i","s":"t","ts":%d,"pid":1,"tid":%d,"args":{"packet":%d,"arg":%d}}`,
+				name, ev.Packet, ev.Cycle, ev.Router, ev.Packet, ev.Arg)
+		}
+	}
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestFlightRecorderRing(t *testing.T) {
+	r := NewFlightRecorder(4)
+	if r.Len() != 0 || r.Dropped() != 0 {
+		t.Errorf("fresh recorder: len=%d dropped=%d", r.Len(), r.Dropped())
+	}
+	for i := int64(0); i < 10; i++ {
+		r.Record(TraceEvent{Cycle: i, Packet: int32(i), Router: int32(i % 3), Kind: TraceRC})
+	}
+	if r.Len() != 4 {
+		t.Errorf("len = %d, want capacity 4", r.Len())
+	}
+	if r.Dropped() != 6 {
+		t.Errorf("dropped = %d, want 6", r.Dropped())
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("Events() returned %d, want 4", len(evs))
+	}
+	// Survivors are the last four, oldest first.
+	for i, ev := range evs {
+		if want := int64(6 + i); ev.Cycle != want {
+			t.Errorf("event %d at cycle %d, want %d", i, ev.Cycle, want)
+		}
+	}
+}
+
+func TestFlightRecorderLastByRouter(t *testing.T) {
+	r := NewFlightRecorder(16)
+	for i := int64(0); i < 12; i++ {
+		r.Record(TraceEvent{Cycle: i, Packet: int32(i), Router: int32(i % 2), Kind: TraceST})
+	}
+	got := r.LastByRouter(0, 3)
+	if len(got) != 3 {
+		t.Fatalf("LastByRouter returned %d events, want 3", len(got))
+	}
+	// Router 0's events happen at even cycles; the last three, in
+	// chronological order, are 6, 8, 10.
+	for i, want := range []int64{6, 8, 10} {
+		if got[i].Cycle != want || got[i].Router != 0 {
+			t.Errorf("excerpt[%d] = %+v, want cycle %d at router 0", i, got[i], want)
+		}
+	}
+	if none := r.LastByRouter(99, 4); len(none) != 0 {
+		t.Errorf("unknown router returned %d events", len(none))
+	}
+}
+
+func TestTraceEventString(t *testing.T) {
+	ev := TraceEvent{Cycle: 42, Packet: 7, Router: 3, Kind: TraceVA, Arg: 1}
+	s := ev.String()
+	for _, want := range []string{"42", "pkt 7", "router 3", "va", "arg 1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	if TraceKind(99).String() != "kind(99)" {
+		t.Errorf("unknown kind renders %q", TraceKind(99).String())
+	}
+}
+
+func TestRecordNoAllocs(t *testing.T) {
+	r := NewFlightRecorder(128)
+	ev := TraceEvent{Cycle: 1, Packet: 2, Router: 3, Kind: TraceST, Arg: 4}
+	if avg := testing.AllocsPerRun(1000, func() { r.Record(ev) }); avg != 0 {
+		t.Errorf("Record allocates %v allocs/op, want 0", avg)
+	}
+}
+
+// WriteChromeTrace must emit valid JSON in the trace-event format:
+// a traceEvents array whose entries all carry ph/ts/pid, with a
+// balanced b/e async span per packet and process-name metadata.
+func TestWriteChromeTrace(t *testing.T) {
+	events := []TraceEvent{
+		{Cycle: 0, Packet: 1, Router: -1, Kind: TraceInject, Arg: 5},
+		{Cycle: 2, Packet: 1, Router: 0, Kind: TraceRC, Arg: 1},
+		{Cycle: 3, Packet: 1, Router: 0, Kind: TraceVA, Arg: 0},
+		{Cycle: 4, Packet: 1, Router: 0, Kind: TraceST, Arg: 1},
+		{Cycle: 9, Packet: 1, Router: 2, Kind: TraceEject, Arg: 8},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string          `json:"name"`
+			Ph   string          `json:"ph"`
+			Ts   *int64          `json:"ts"`
+			Pid  int             `json:"pid"`
+			Tid  int             `json:"tid"`
+			ID   json.RawMessage `json:"id"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	// 2 process-name metadata + 5 instants + b/e span pair.
+	if len(doc.TraceEvents) != 9 {
+		t.Fatalf("emitted %d trace events, want 9", len(doc.TraceEvents))
+	}
+	spans := map[string]int{}
+	meta := 0
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+			continue
+		case "b", "e":
+			spans[ev.Ph]++
+			if len(ev.ID) == 0 {
+				t.Errorf("async %s event without id: %+v", ev.Ph, ev)
+			}
+		case "i":
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+		if ev.Ts == nil {
+			t.Errorf("event %q missing ts", ev.Name)
+		}
+		if ev.Pid != 1 && ev.Pid != 2 {
+			t.Errorf("event %q on pid %d, want 1 (fabric) or 2 (terminals)", ev.Name, ev.Pid)
+		}
+	}
+	if meta != 2 {
+		t.Errorf("process-name metadata events = %d, want 2", meta)
+	}
+	if spans["b"] != 1 || spans["e"] != 1 {
+		t.Errorf("async span begin/end = %d/%d, want 1/1", spans["b"], spans["e"])
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty trace is invalid JSON: %v", err)
+	}
+}

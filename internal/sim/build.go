@@ -109,6 +109,14 @@ type Network struct {
 	chk         *checker
 	recordDeliv bool
 	deliveries  []Delivery
+
+	// Time-resolved observability (see observe.go): the timeline sampler
+	// and the packet-lifecycle flight recorder, both nil-checked on every
+	// event site like the probe. tlChanFlits is the timeline's
+	// per-channel interval counter (reset every sampling window).
+	tline       *obs.Timeline
+	tlChanFlits []int32
+	tr          *obs.FlightRecorder
 }
 
 // Build instantiates a simulable network from a logical topology. Every

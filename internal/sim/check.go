@@ -271,10 +271,13 @@ func (c *checker) checkProgress(n *Network) {
 
 // deadlockDump renders the stuck state: for each router still holding
 // flits, the non-empty VCs with their pipeline state and the credit
-// level of their requested output.
+// level of their requested output. With a flight recorder attached the
+// dump quotes each stuck router's last few lifecycle events, so the
+// post-mortem shows what the router was doing when progress stopped.
 func (c *checker) deadlockDump(n *Network) string {
 	var b strings.Builder
 	const maxRouters = 8
+	const maxTraceEvents = 8
 	dumped := 0
 	stateName := [...]string{"idle", "routing", "vcalloc", "active"}
 	for r := 0; r < n.R && dumped < maxRouters; r++ {
@@ -299,6 +302,11 @@ func (c *checker) deadlockDump(n *Network) string {
 					}
 				}
 				b.WriteString(line + "\n")
+			}
+		}
+		if n.tr != nil {
+			for _, ev := range n.tr.LastByRouter(int32(r), maxTraceEvents) {
+				fmt.Fprintf(&b, "    trace: %s\n", ev)
 			}
 		}
 	}

@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"waferswitch/internal/obs"
+	"waferswitch/internal/traffic"
+)
+
+// Attaching a timeline and a flight recorder must not change simulation
+// results: both are observational (same contract as the probe), so
+// Stats and the latency histogram stay bit-identical.
+func TestTimelineTracerDoNotPerturbRun(t *testing.T) {
+	cl := testClos(t)
+	cfg := testConfig()
+	run := func(instrument bool) (Stats, obs.Histogram) {
+		n, err := Build(cl, ConstantLatency(1), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if instrument {
+			n.AttachTimeline(obs.NewTimeline(50, 64))
+			n.Trace(obs.NewFlightRecorder(1024))
+		}
+		inj, _ := SyntheticInjector(traffic.Uniform(128), 4)(0.5)
+		return n.Run(inj, 0.5), n.LatencyHistogram()
+	}
+	plainSt, plainH := run(false)
+	instSt, instH := run(true)
+	if plainSt != instSt {
+		t.Errorf("instrumentation perturbed Stats:\nplain %+v\ninstr %+v", plainSt, instSt)
+	}
+	if !plainH.Equal(&instH) {
+		t.Error("instrumentation perturbed the latency histogram")
+	}
+}
+
+// The timeline's summed series must agree with the probe's run totals:
+// same injected/ejected flits, same occupancy integral, and the series
+// must cover every simulated cycle.
+func TestTimelineMatchesProbeTotals(t *testing.T) {
+	cl := testClos(t)
+	cfg := testConfig()
+	n, err := Build(cl, ConstantLatency(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AttachProbe(n.NewProbe()); err != nil {
+		t.Fatal(err)
+	}
+	tl := obs.NewTimeline(100, 0)
+	n.AttachTimeline(tl)
+	if n.Timeline() != tl {
+		t.Fatal("Timeline() does not return the attached sampler")
+	}
+	inj, _ := SyntheticInjector(traffic.Uniform(128), 4)(0.6)
+	st := n.Run(inj, 0.6)
+
+	var cycles, injected, ejected, retired, occSum int64
+	for _, p := range tl.Snapshot().Samples {
+		cycles += p.Cycles
+		injected += p.Injected
+		ejected += p.Ejected
+		retired += p.Retired
+		occSum += int64(p.MeanQueueOcc*float64(p.Cycles) + 0.5)
+	}
+	if cycles != st.Cycles {
+		t.Errorf("timeline covers %d cycles, run took %d", cycles, st.Cycles)
+	}
+	if injected != n.probe.Injected || ejected != n.probe.Ejected {
+		t.Errorf("timeline flits %d/%d, probe %d/%d",
+			injected, ejected, n.probe.Injected, n.probe.Ejected)
+	}
+	// The timeline retires every packet (measured or not); the run's
+	// Completed counts only measured ones.
+	if retired < int64(st.Completed) {
+		t.Errorf("timeline retired %d packets, fewer than the %d measured completions", retired, st.Completed)
+	}
+	var probeOcc int64
+	for r := range n.probe.Routers {
+		probeOcc += n.probe.Routers[r].OccSum
+	}
+	if occSum != probeOcc {
+		t.Errorf("timeline occupancy integral %d, probe %d", occSum, probeOcc)
+	}
+}
+
+// With a timeline attached the steady-state loop must stay at 0
+// allocs/op — the sampler's memory is fixed at construction.
+func TestSteadyStateNoAllocsTimeline(t *testing.T) {
+	cl := testClos(t)
+	n, err := Build(cl, ConstantLatency(1), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := obs.NewTimeline(64, 32)
+	n.AttachTimeline(tl)
+	inj, _ := SyntheticInjector(traffic.Uniform(128), 4)(0.4)
+	for ; n.now < 4000; n.now++ {
+		n.step(inj)
+	}
+	avg := testing.AllocsPerRun(400, func() {
+		n.step(inj)
+		n.now++
+	})
+	if avg != 0 {
+		t.Errorf("steady-state step allocates %v allocs/op with timeline attached, want 0", avg)
+	}
+}
+
+// Same for the tracer: the flight recorder is a preallocated ring.
+func TestSteadyStateNoAllocsTraced(t *testing.T) {
+	cl := testClos(t)
+	n, err := Build(cl, ConstantLatency(1), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Trace(obs.NewFlightRecorder(1 << 12))
+	inj, _ := SyntheticInjector(traffic.Uniform(128), 4)(0.4)
+	for ; n.now < 4000; n.now++ {
+		n.step(inj)
+	}
+	avg := testing.AllocsPerRun(400, func() {
+		n.step(inj)
+		n.now++
+	})
+	if avg != 0 {
+		t.Errorf("steady-state step allocates %v allocs/op with tracer attached, want 0", avg)
+	}
+}
+
+// A traced run must record the full lifecycle: inject at a terminal,
+// RC/VA/ST at routers, eject at the destination — and WriteTrace must
+// render them as valid Chrome trace-event JSON.
+func TestTraceLifecycleAndChromeExport(t *testing.T) {
+	cl := testClos(t)
+	cfg := testConfig()
+	n, err := Build(cl, ConstantLatency(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewFlightRecorder(1 << 16)
+	n.Trace(rec)
+	if n.Recorder() != rec {
+		t.Fatal("Recorder() does not return the attached recorder")
+	}
+	inj, _ := SyntheticInjector(traffic.Uniform(128), 4)(0.2)
+	st := n.Run(inj, 0.2)
+	if st.Completed == 0 {
+		t.Fatal("no packets completed")
+	}
+	kinds := map[obs.TraceKind]int{}
+	perPacketKinds := map[int32]map[obs.TraceKind]bool{}
+	for _, ev := range rec.Events() {
+		kinds[ev.Kind]++
+		if ev.Kind == obs.TraceInject && ev.Router != -1 {
+			t.Errorf("inject event carries router %d, want -1", ev.Router)
+		}
+		m := perPacketKinds[ev.Packet]
+		if m == nil {
+			m = map[obs.TraceKind]bool{}
+			perPacketKinds[ev.Packet] = m
+		}
+		m[ev.Kind] = true
+	}
+	for _, k := range []obs.TraceKind{obs.TraceInject, obs.TraceRC, obs.TraceVA, obs.TraceST, obs.TraceEject} {
+		if kinds[k] == 0 {
+			t.Errorf("no %v events recorded", k)
+		}
+	}
+	// Packet ids are recycled, so per-id lifecycles can span several
+	// packets; but a fully retained id must have seen every stage.
+	full := 0
+	for _, m := range perPacketKinds {
+		if m[obs.TraceInject] && m[obs.TraceRC] && m[obs.TraceVA] && m[obs.TraceST] && m[obs.TraceEject] {
+			full++
+		}
+	}
+	if full == 0 {
+		t.Error("no packet shows a complete inject→RC→VA→ST→eject lifecycle")
+	}
+
+	var buf bytes.Buffer
+	if err := n.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is invalid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) < rec.Len() {
+		t.Errorf("trace has %d events for %d recorded", len(doc.TraceEvents), rec.Len())
+	}
+}
+
+func TestWriteTraceRequiresRecorder(t *testing.T) {
+	cl := testClos(t)
+	n, err := Build(cl, ConstantLatency(1), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.WriteTrace(&bytes.Buffer{}); err == nil {
+		t.Error("WriteTrace without a recorder must error")
+	}
+}
+
+func TestAttachTimelineDetach(t *testing.T) {
+	cl := testClos(t)
+	n, err := Build(cl, ConstantLatency(1), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.AttachTimeline(obs.NewTimeline(10, 8))
+	n.AttachTimeline(nil)
+	if n.Timeline() != nil || n.tlChanFlits != nil {
+		t.Error("detaching the timeline left state behind")
+	}
+	n.Trace(nil)
+	if n.Recorder() != nil {
+		t.Error("detaching the tracer left state behind")
+	}
+}

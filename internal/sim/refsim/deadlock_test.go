@@ -1,9 +1,12 @@
 package refsim
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
+	"waferswitch/internal/obs"
 	"waferswitch/internal/sim"
 )
 
@@ -59,6 +62,54 @@ func TestKnownDeadlockDetected(t *testing.T) {
 	}
 	if !strings.Contains(errv.Error(), "deadlock") || !strings.Contains(errv.Error(), "router") {
 		t.Fatalf("deadlock report incomplete: %v", errv)
+	}
+}
+
+// TestDeadlockDumpIncludesFlightRecorder: with a flight recorder
+// attached, the watchdog's dump must quote each stuck router's last
+// lifecycle events — the post-mortem showing what the router was doing
+// when progress stopped.
+func TestDeadlockDumpIncludesFlightRecorder(t *testing.T) {
+	s := deadlockSpec()
+	top, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := s.Injector(top.ExternalPorts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := sim.Build(top, sim.ConstantLatency(s.LinkLat), s.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Check(sim.CheckOptions{Watchdog: 1200}); err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewFlightRecorder(1 << 14)
+	n.Trace(rec)
+	n.Run(inj, s.Load)
+	errv := n.CheckErr()
+	if errv == nil {
+		t.Fatalf("watchdog missed the pinned deadlock (spec %s)", s)
+	}
+	msg := errv.Error()
+	if !strings.Contains(msg, "trace:") {
+		t.Fatalf("deadlock dump has no flight-recorder excerpt:\n%v", msg)
+	}
+	// The excerpt lines are rendered TraceEvents; at least one must name
+	// a pipeline stage.
+	if !strings.Contains(msg, " rc ") && !strings.Contains(msg, " va ") && !strings.Contains(msg, " st ") {
+		t.Errorf("trace excerpt lines carry no pipeline stage:\n%v", msg)
+	}
+	// And the traced wedge still exports as Chrome trace JSON.
+	var buf bytes.Buffer
+	if err := n.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("wedge trace is invalid JSON: %v", err)
 	}
 }
 

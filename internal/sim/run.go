@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"waferswitch/internal/obs"
 	"waferswitch/internal/traffic"
 )
 
@@ -108,6 +109,9 @@ func (n *Network) Run(inj Injector, offered float64) Stats {
 		n.step(inj)
 		n.now++
 	}
+	if n.tline != nil {
+		n.closeTimelineWindow() // flush the partial final window
+	}
 	st := Stats{
 		Offered:   offered,
 		Accepted:  float64(n.ejectedFlits) / float64(n.T) / float64(cfg.MeasureCycles),
@@ -169,6 +173,9 @@ func (n *Network) step(inj Injector) {
 	n.inject(inj)
 	if n.probe != nil {
 		n.recordOccupancy()
+	}
+	if n.tline != nil {
+		n.tickTimeline()
 	}
 	if n.chk != nil {
 		n.chk.endCycle(n)
@@ -269,6 +276,10 @@ func (n *Network) routersRCVA() {
 					if vc.rcLeft <= 0 {
 						n.computeRoute(r, vc)
 						vc.state = vcVCAlloc
+						if n.tr != nil {
+							n.tr.Record(obs.TraceEvent{Cycle: n.now, Packet: vc.front().pkt,
+								Router: int32(r), Kind: obs.TraceRC, Arg: vc.outPort})
+						}
 					}
 				}
 				if vc.state == vcVCAlloc {
@@ -280,6 +291,11 @@ func (n *Network) routersRCVA() {
 							o.rrVA = int32((ov + 1) % V)
 							vc.outVC = int32(ov)
 							vc.state = vcActive
+							if n.tr != nil {
+								n.tr.Record(obs.TraceEvent{Cycle: n.now, Packet: vc.front().pkt,
+									Router: int32(r), Kind: obs.TraceVA, Arg: vc.outVC})
+								vc.traceHead = true
+							}
 							break
 						}
 					}
@@ -380,6 +396,11 @@ func (n *Network) forward(r, out, winnerVC int) {
 	inPort := winnerVC / n.V
 	n.inOcc[inPort]--
 	n.routerOcc[r]--
+	if n.tr != nil && vc.traceHead {
+		vc.traceHead = false
+		n.tr.Record(obs.TraceEvent{Cycle: n.now, Packet: f.pkt,
+			Router: int32(r), Kind: obs.TraceST, Arg: int32(out)})
+	}
 	if ci := n.feedCh[inPort]; ci >= 0 {
 		c := &n.channels[ci]
 		slot := n.now % int64(c.lat)
@@ -400,6 +421,9 @@ func (n *Network) forward(r, out, winnerVC int) {
 		if n.probe != nil {
 			n.probe.Channels[o.ch].Flits++
 		}
+		if n.tline != nil {
+			n.tlChanFlits[o.ch]++
+		}
 	} else {
 		// Terminal ejection: the flit leaves through the egress pipeline
 		// and the host link.
@@ -408,6 +432,13 @@ func (n *Network) forward(r, out, winnerVC int) {
 		}
 		if n.probe != nil {
 			n.probe.Ejected++
+		}
+		if n.tline != nil {
+			n.tline.NoteEject()
+		}
+		if n.tr != nil && f.last {
+			n.tr.Record(obs.TraceEvent{Cycle: n.now, Packet: f.pkt,
+				Router: int32(r), Kind: obs.TraceEject, Arg: n.pkts[f.pkt].dst})
 		}
 		if n.chk != nil {
 			n.chk.noteForward(n.now, f, true)
@@ -431,11 +462,17 @@ func (n *Network) forward(r, out, winnerVC int) {
 // entry.
 func (n *Network) completePacket(pkt int32) {
 	pi := &n.pkts[pkt]
+	lat := float64(n.now + int64(n.cfg.PipeDelay+n.cfg.TermDelay) - pi.born)
 	if pi.measured {
-		lat := float64(n.now + int64(n.cfg.PipeDelay+n.cfg.TermDelay) - pi.born)
 		n.latencySum += lat
 		n.latHist.Observe(lat)
 		n.completed++
+	}
+	if n.tline != nil {
+		// The timeline is time-domain instrumentation: every retired
+		// packet counts, measured or not, so warmup and drain windows
+		// show real latencies too.
+		n.tline.NoteRetire(lat)
 	}
 	if n.chk != nil {
 		n.chk.noteComplete(pkt, pi, n.now)
@@ -490,6 +527,14 @@ func (n *Network) inject(inj Injector) {
 		if n.probe != nil {
 			n.probe.Injected++
 			n.probe.Channels[n.termChIn[t]].Flits++
+		}
+		if n.tline != nil {
+			n.tline.NoteInject()
+			n.tlChanFlits[n.termChIn[t]]++
+		}
+		if n.tr != nil && sent == 0 {
+			n.tr.Record(obs.TraceEvent{Cycle: n.now, Packet: pkt,
+				Router: -1, Kind: obs.TraceInject, Arg: int32(t)})
 		}
 		if n.chk != nil {
 			n.chk.noteInject(n.now)

@@ -105,12 +105,16 @@ type flit struct {
 
 // vcState is the per-input-VC pipeline state.
 type vcState struct {
-	q       []flit // FIFO: q[head:] are buffered flits
-	head    int32
-	state   uint8
-	rcLeft  int32
-	outPort int32
-	outVC   int32
+	q     []flit // FIFO: q[head:] are buffered flits
+	head  int32
+	state uint8
+	// traceHead marks that the next flit forwarded from this VC is the
+	// head of a freshly VC-allocated packet; only the tracer sets it (it
+	// packs into state's padding, so the untraced layout is unchanged).
+	traceHead bool
+	rcLeft    int32
+	outPort   int32
+	outVC     int32
 }
 
 func (v *vcState) empty() bool { return v.head == int32(len(v.q)) }

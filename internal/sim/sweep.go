@@ -68,6 +68,22 @@ type SweepOptions struct {
 	// samples keep it alongside sweep_worker/sweep_point. It is used
 	// only for labeling; cancellation is not observed.
 	Ctx context.Context
+
+	// TimelineInterval, when positive, attaches a time-resolved sampler
+	// to every point (window length in cycles). Per-point series merge in
+	// ascending point order into SweepResult.Timeline, so the merged
+	// series is byte-identical for any worker count. TimelineSamples
+	// bounds each sampler's memory (0 means the obs default).
+	TimelineInterval int
+	TimelineSamples  int
+	// Live, when non-nil, registers each point's sampler under
+	// "LiveName/load=<load>" before the point runs, so an introspection
+	// server can stream the series of points still executing.
+	Live     *obs.LiveTimelines
+	LiveName string
+	// Progress, when non-nil, receives this sweep's point total up front
+	// and a tick per completed point.
+	Progress *obs.Progress
 }
 
 // SweepResult is the outcome of a load sweep: per-point stats (and probe
@@ -80,6 +96,9 @@ type SweepResult struct {
 	// packet of every point, plus summed router/channel counters when
 	// probing was enabled.
 	Aggregate *obs.Snapshot `json:"aggregate,omitempty"`
+	// Timeline is the per-point samplers merged in point order (only with
+	// SweepOptions.TimelineInterval set).
+	Timeline *obs.TimelineSnapshot `json:"timeline,omitempty"`
 }
 
 // Stats projects the per-point stats out of the result.
@@ -114,7 +133,12 @@ func Sweep(build Builder, injf InjectorFactory, loads []float64, opt SweepOption
 	points := make([]SweepPoint, len(loads))
 	colls := make([]*obs.Collector, len(loads))
 	hists := make([]obs.Histogram, len(loads))
+	tls := make([]*obs.Timeline, len(loads))
 	errs := make([]error, len(loads))
+
+	if opt.Progress != nil {
+		opt.Progress.AddTotal(len(loads))
+	}
 
 	runPoint := func(i int) error {
 		n, err := build()
@@ -131,6 +155,13 @@ func Sweep(build Builder, injf InjectorFactory, loads []float64, opt SweepOption
 				return err
 			}
 		}
+		if opt.TimelineInterval > 0 {
+			tls[i] = obs.NewTimeline(opt.TimelineInterval, opt.TimelineSamples)
+			n.AttachTimeline(tls[i])
+			if opt.Live != nil {
+				opt.Live.Attach(fmt.Sprintf("%s/load=%g", opt.LiveName, loads[i]), tls[i])
+			}
+		}
 		st := n.Run(inj, loads[i])
 		points[i] = SweepPoint{Stats: st}
 		if opt.Probe {
@@ -138,6 +169,9 @@ func Sweep(build Builder, injf InjectorFactory, loads []float64, opt SweepOption
 			colls[i] = n.probe
 		}
 		hists[i] = n.LatencyHistogram()
+		if opt.Progress != nil {
+			opt.Progress.PointDone()
+		}
 		return nil
 	}
 
@@ -207,6 +241,15 @@ func Sweep(build Builder, injf InjectorFactory, loads []float64, opt SweepOption
 		res.Aggregate = s
 	} else if aggHist.Count() > 0 {
 		res.Aggregate = &obs.Snapshot{Latency: aggHist.Snapshot()}
+	}
+	if opt.TimelineInterval > 0 {
+		aggTL := obs.NewTimeline(opt.TimelineInterval, opt.TimelineSamples)
+		for i := range loads {
+			if err := aggTL.Merge(tls[i]); err != nil {
+				return nil, err
+			}
+		}
+		res.Timeline = aggTL.Snapshot()
 	}
 	return res, nil
 }

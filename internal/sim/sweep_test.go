@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"testing"
 
+	"waferswitch/internal/obs"
 	"waferswitch/internal/ssc"
 	"waferswitch/internal/topo"
 	"waferswitch/internal/traffic"
@@ -136,6 +137,63 @@ func TestSweepAggregate(t *testing.T) {
 	}
 	if res2.Aggregate.Latency.Count != completed {
 		t.Errorf("unprobed aggregate count = %d, want %d", res2.Aggregate.Latency.Count, completed)
+	}
+}
+
+// A sweep with timelines enabled must stay deterministic across worker
+// counts: the merged series (reduced in ascending point order after the
+// barrier) and the per-point registrations are byte-identical JSON, and
+// live registration names every point.
+func TestSweepTimelineParallelMatchesSerial(t *testing.T) {
+	cfg := sweepTestConfig()
+	cl := testClos(t)
+	build := func() (*Network, error) { return Build(cl, ConstantLatency(1), cfg) }
+	injf := SyntheticInjector(traffic.Uniform(cl.ExternalPorts()), cfg.PacketFlits)
+	loads := []float64{0.1, 0.25, 0.4, 0.55}
+
+	run := func(workers int) (*SweepResult, *obs.LiveTimelines, *obs.Progress) {
+		live := &obs.LiveTimelines{}
+		prog := &obs.Progress{}
+		res, err := Sweep(build, injf, loads, SweepOptions{
+			Workers: workers, Probe: true,
+			TimelineInterval: 100, TimelineSamples: 32,
+			Live: live, LiveName: "test/sweep", Progress: prog,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, live, prog
+	}
+
+	serial, sLive, sProg := run(1)
+	if serial.Timeline == nil || len(serial.Timeline.Samples) == 0 {
+		t.Fatal("sweep with TimelineInterval returned no merged timeline")
+	}
+	if names := sLive.Names(); len(names) != len(loads) || names[0] != "test/sweep/load=0.1" {
+		t.Fatalf("live registrations wrong: %v", names)
+	}
+	if s := sProg.Snapshot(); s.Total != int64(len(loads)) || s.Done != int64(len(loads)) {
+		t.Errorf("progress %d/%d, want %d/%d", s.Done, s.Total, len(loads), len(loads))
+	}
+	sj, err := json.Marshal(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, 0} {
+		par, pLive, _ := run(workers)
+		pj, err := json.Marshal(par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(pj) != string(sj) {
+			t.Errorf("workers=%d: sweep JSON (points + timeline) diverges from serial", workers)
+		}
+		// The per-point live series must match the serial run's too.
+		slj, _ := json.Marshal(sLive.Snapshot())
+		plj, _ := json.Marshal(pLive.Snapshot())
+		if string(slj) != string(plj) {
+			t.Errorf("workers=%d: live per-point timelines diverge from serial", workers)
+		}
 	}
 }
 
