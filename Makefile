@@ -5,9 +5,10 @@
 GO ?= go
 
 # Minimum total -short test coverage (percent). Ratcheted from 67.8 to
-# 72.5 when the time-resolved observability layer landed (measured
-# 73.3%); `make cover` fails below it so coverage can only go up.
-COVER_FLOOR ?= 72.5
+# 72.5 when the time-resolved observability layer landed, then to 73.0
+# with the adaptive sweep engine (measured 73.8%); `make cover` fails
+# below it so coverage can only go up.
+COVER_FLOOR ?= 73.0
 
 .PHONY: all build test check vet fmt race bench bench-json cover fuzz-smoke
 
@@ -33,7 +34,11 @@ fmt:
 	fi
 
 # expt runs with -short: the full-suite test is redundant under race and
-# the dedicated pool/parallel-sweep tests never skip.
+# the dedicated pool/parallel-sweep tests never skip. The adaptive sweep
+# engine's tests (abort_test, saturation_test, converge_test, and the
+# expt adaptive determinism tests) live inside these packages, so the
+# early-abort detector and bisection search run under the race detector
+# on every check.
 race:
 	$(GO) test -race ./internal/sim/... ./internal/obs/...
 	$(GO) test -race -short ./internal/expt/...
@@ -59,12 +64,19 @@ bench:
 	$(GO) test -bench=. -benchmem -short ./...
 
 # bench-json snapshots the guard benchmarks (simulator inner loop with
-# the timeline/tracer on and off, and the sweep engine: ns/op,
-# allocs/op, cycles/op) into BENCH_sim.json so the perf trajectory is
+# the timeline/tracer on and off, and the sweep engine serial/parallel
+# plus exhaustive/adaptive saturation pairs: ns/op, allocs/op,
+# cycles/op) into BENCH_sim.json so the perf trajectory is
 # machine-readable across commits. The *Off cases pin the disabled
-# observability paths at 0 allocs/op.
+# observability paths at 0 allocs/op. benchjson -diff gates the fresh
+# numbers against the committed baseline — >15% ns/op regressions, any
+# allocation on a zero-alloc guard, or a silently dropped benchmark
+# fail the target before the snapshot is overwritten. To intentionally
+# re-pin after a known change: make bench-json DIFF_FLAGS=
+DIFF_FLAGS ?= -diff BENCH_sim.json
 bench-json:
-	{ $(GO) test -run NONE -short -bench 'BenchmarkSimCycle$$|BenchmarkSimTimeline|BenchmarkSimTracer|BenchmarkSweepSerial$$|BenchmarkSweepParallel$$' -benchmem . ; \
+	{ $(GO) test -run NONE -short -bench 'BenchmarkSimCycle$$|BenchmarkSimTimeline|BenchmarkSimTracer|BenchmarkSweepSerial$$|BenchmarkSweepParallel$$|BenchmarkSweepExhaustive$$|BenchmarkSweepAdaptive$$' -benchmem . ; \
 	  $(GO) test -run NONE -short -bench 'BenchmarkSimSteadyState' -benchmem ./internal/sim ; } \
-	| $(GO) run ./cmd/benchjson > BENCH_sim.json
+	| $(GO) run ./cmd/benchjson $(DIFF_FLAGS) > BENCH_sim.json.tmp
+	mv BENCH_sim.json.tmp BENCH_sim.json
 	@echo wrote BENCH_sim.json

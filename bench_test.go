@@ -257,11 +257,71 @@ func benchSweep(b *testing.B, workers int) {
 }
 
 // BenchmarkSweepSerial and BenchmarkSweepParallel compare one-worker
-// against all-core execution of the same deterministic sweep; the ratio
-// of their ns/op is the engine's wall-clock speedup on this machine
-// (near-linear up to the point count on multi-core hardware).
+// against multi-worker execution of the same deterministic sweep; the
+// ratio of their ns/op is the engine's wall-clock speedup on this
+// machine (near-linear up to the point count on multi-core hardware).
+// The parallel variant pins an explicit worker count: Workers: 0 means
+// GOMAXPROCS, which on a single-core machine is 1 and silently selects
+// the serial fast path — the two benchmarks then measure the same code
+// and the "speedup" reads as exactly 1.0. Four workers always exercise
+// the goroutine pool, the atomic point counter, and the ordered
+// reduction, so the parallel number is honest everywhere: near-linear
+// speedup on multi-core hardware, scheduling overhead (a slightly
+// larger ns/op) on one core.
 func BenchmarkSweepSerial(b *testing.B)   { benchSweep(b, 1) }
-func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 0) }
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 4) }
+
+// benchSatSweep runs a load sweep that deliberately crosses the
+// saturation knee of a small DOR-routed mesh (knee near load 0.12 under
+// uniform traffic; see sweep_test.go), so half the points saturate and
+// burn their full drain deadline. The exhaustive/adaptive pair pins the
+// early-abort engine's wall-clock win on identical workloads: both
+// produce the same Offered/Accepted and the same Summarize reduction
+// (the measurement window always completes), but the adaptive variant
+// abandons each hopeless drain a few detector windows in.
+func benchSatSweep(b *testing.B, abort *sim.AbortOptions) {
+	b.Helper()
+	chip, err := ssc.MustTH5(200).Deradix(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mesh, err := topo.MeshTopo(3, 3, chip, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.Config{
+		NumVCs: 4, BufPerPort: 32, PacketFlits: 4,
+		RCIngress: 2, RCOther: 1, PipeDelay: 3, TermDelay: 8,
+		WarmupCycles: 200, MeasureCycles: 400, Seed: 1,
+	}
+	loads := make([]float64, 8)
+	for i := range loads {
+		loads[i] = 0.05 * float64(i+1) // 0.05..0.40, knee ~0.12
+	}
+	ports := mesh.ExternalPorts()
+	build := func() (*sim.Network, error) { return sim.Build(mesh, sim.ConstantLatency(1), cfg) }
+	injf := sim.SyntheticInjector(traffic.Uniform(ports), cfg.PacketFlits)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Sweep(build, injf, loads, sim.SweepOptions{Workers: 1, Abort: abort})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum := sim.Summarize(res.Stats())
+		if !sum.Saturated {
+			b.Fatal("saturation sweep never saturated; benchmark measures nothing")
+		}
+		b.ReportMetric(sum.SaturationThroughput, "saturation")
+		b.ReportMetric(sum.FirstSaturatedLoad, "knee")
+	}
+}
+
+// BenchmarkSweepExhaustive and BenchmarkSweepAdaptive run the identical
+// saturating sweep with the early-abort detector off and on; the ns/op
+// ratio is the adaptive engine's wall-clock saving, while the reported
+// saturation/knee metrics must agree exactly.
+func BenchmarkSweepExhaustive(b *testing.B) { benchSatSweep(b, nil) }
+func BenchmarkSweepAdaptive(b *testing.B)   { benchSatSweep(b, &sim.AbortOptions{}) }
 
 // BenchmarkClosConstruction measures logical-topology construction, the
 // inner loop of the design-space search.

@@ -4,6 +4,14 @@
 // commits. `make bench-json` pipes the simulator guard benchmarks
 // through it into BENCH_sim.json.
 //
+// With -diff FILE it additionally gates the fresh numbers against a
+// committed baseline (the previous BENCH_sim.json): any benchmark whose
+// ns/op regressed more than -diff-tolerance percent, any benchmark that
+// gained allocations on a zero-alloc baseline, and any baseline
+// benchmark missing from the fresh run fail the diff — violations go to
+// stderr and the exit status is 1, while the fresh JSON still goes to
+// stdout so the caller can inspect (or intentionally re-pin) it.
+//
 // Input lines it understands (all others pass through to the Ignored
 // count):
 //
@@ -17,6 +25,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -103,7 +112,66 @@ func parse(lines *bufio.Scanner) (*Output, error) {
 	return out, lines.Err()
 }
 
+// compare gates fresh benchmark results against a committed baseline and
+// returns one violation string per regression:
+//
+//   - ns/op above baseline by more than tolPct percent (wall-clock
+//     regression beyond noise);
+//   - allocs/op above zero where the baseline pinned zero (the
+//     steady-state 0 allocs/op contract is absolute, not percentage);
+//   - a baseline benchmark absent from the fresh run (a silently dropped
+//     guard is a gate bypass, not an improvement).
+//
+// New benchmarks absent from the baseline pass freely — that is how a
+// guard gets pinned for the first time.
+func compare(base, fresh *Output, tolPct float64) []string {
+	byName := make(map[string]Benchmark, len(fresh.Benchmarks))
+	for _, b := range fresh.Benchmarks {
+		byName[b.Name] = b
+	}
+	var violations []string
+	for _, old := range base.Benchmarks {
+		cur, ok := byName[old.Name]
+		if !ok {
+			violations = append(violations,
+				fmt.Sprintf("%s: present in baseline but missing from this run", old.Name))
+			continue
+		}
+		if oldNs, ok := old.Metrics["ns/op"]; ok && oldNs > 0 {
+			if curNs := cur.Metrics["ns/op"]; curNs > oldNs*(1+tolPct/100) {
+				violations = append(violations,
+					fmt.Sprintf("%s: ns/op regressed %.1f%% (%.0f -> %.0f, tolerance %.0f%%)",
+						old.Name, (curNs/oldNs-1)*100, oldNs, curNs, tolPct))
+			}
+		}
+		if oldAllocs, ok := old.Metrics["allocs/op"]; ok && oldAllocs == 0 {
+			if curAllocs := cur.Metrics["allocs/op"]; curAllocs > 0 {
+				violations = append(violations,
+					fmt.Sprintf("%s: allocs/op went from 0 to %g (zero-alloc contract broken)",
+						old.Name, curAllocs))
+			}
+		}
+	}
+	return violations
+}
+
+// loadBaseline reads a previously emitted benchjson document.
+func loadBaseline(path string) (*Output, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	base := &Output{}
+	if err := json.Unmarshal(data, base); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return base, nil
+}
+
 func main() {
+	diff := flag.String("diff", "", "baseline JSON `file` (a previous benchjson output) to gate against: exit 1 on ns/op regressions beyond -diff-tolerance, any allocations on zero-alloc baselines, or missing benchmarks")
+	diffTol := flag.Float64("diff-tolerance", 15, "ns/op regression tolerance in `percent` for -diff")
+	flag.Parse()
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	out, err := parse(sc)
@@ -115,10 +183,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
+	var violations []string
+	if *diff != "" {
+		base, err := loadBaseline(*diff)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: baseline: %v\n", err)
+			os.Exit(1)
+		}
+		violations = compare(base, out, *diffTol)
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "benchjson: regression: %s\n", v)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) vs %s\n", len(violations), *diff)
 		os.Exit(1)
 	}
 }

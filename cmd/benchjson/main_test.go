@@ -40,6 +40,66 @@ func TestParseLine(t *testing.T) {
 	}
 }
 
+// bench builds a one-benchmark Output for the compare tests.
+func bench(name string, ns, allocs float64) Benchmark {
+	return Benchmark{Name: name, Procs: 1, Iterations: 1,
+		Metrics: map[string]float64{"ns/op": ns, "allocs/op": allocs}}
+}
+
+func TestCompare(t *testing.T) {
+	base := &Output{Benchmarks: []Benchmark{
+		bench("SimSteadyState", 46000, 0),
+		bench("SweepSerial", 235000000, 100),
+	}}
+	cases := []struct {
+		name       string
+		fresh      *Output
+		violations int
+	}{
+		{"unchanged", &Output{Benchmarks: []Benchmark{
+			bench("SimSteadyState", 46000, 0),
+			bench("SweepSerial", 235000000, 100),
+		}}, 0},
+		{"within tolerance", &Output{Benchmarks: []Benchmark{
+			bench("SimSteadyState", 52000, 0), // +13%
+			bench("SweepSerial", 240000000, 100),
+		}}, 0},
+		{"ns regression", &Output{Benchmarks: []Benchmark{
+			bench("SimSteadyState", 60000, 0), // +30%
+			bench("SweepSerial", 235000000, 100),
+		}}, 1},
+		{"alloc regression on zero-alloc baseline", &Output{Benchmarks: []Benchmark{
+			bench("SimSteadyState", 46000, 2),
+			bench("SweepSerial", 235000000, 100),
+		}}, 1},
+		// A nonzero-alloc baseline may drift without tripping the gate;
+		// only the zero-alloc contract is absolute.
+		{"alloc drift on nonzero baseline", &Output{Benchmarks: []Benchmark{
+			bench("SimSteadyState", 46000, 0),
+			bench("SweepSerial", 235000000, 150),
+		}}, 0},
+		{"missing benchmark", &Output{Benchmarks: []Benchmark{
+			bench("SimSteadyState", 46000, 0),
+		}}, 1},
+		{"new benchmark passes freely", &Output{Benchmarks: []Benchmark{
+			bench("SimSteadyState", 46000, 0),
+			bench("SweepSerial", 235000000, 100),
+			bench("SweepAdaptive", 1, 5000),
+		}}, 0},
+		{"everything at once", &Output{Benchmarks: []Benchmark{
+			bench("SimSteadyState", 999999, 3), // ns + allocs
+		}}, 3}, // plus SweepSerial missing
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := compare(base, tc.fresh, 15)
+			if len(got) != tc.violations {
+				t.Errorf("got %d violations, want %d: %v", len(got), tc.violations, got)
+			}
+		})
+	}
+}
+
 func TestParseDocument(t *testing.T) {
 	in := `goos: linux
 goarch: amd64

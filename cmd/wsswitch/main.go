@@ -33,6 +33,11 @@
 //	wsswitch -timeline N ...   attach time-resolved samplers (N-cycle
 //	                           windows) to sweeps; series attach to
 //	                           -json tables as <series>_timeline
+//	wsswitch -adaptive <id>    adaptive sweep engine: early-abort the
+//	                           drain budget of saturated points and find
+//	                           saturation knees by bisection instead of
+//	                           walking the whole load grid (same
+//	                           saturation numbers, fraction of the time)
 package main
 
 import (
@@ -62,6 +67,9 @@ type jsonOptions struct {
 	Quick   bool  `json:"quick"`
 	Seed    int64 `json:"seed"`
 	Workers int   `json:"workers"`
+	// Adaptive is omitted when false so default runs serialize exactly as
+	// before the adaptive engine existed.
+	Adaptive bool `json:"adaptive,omitempty"`
 }
 
 type jsonResult struct {
@@ -85,6 +93,7 @@ func run() int {
 	replay := flag.String("replay", "", "re-run a differential-test `spec` (as printed by a failing equivalence test or fuzz run) through both simulators and report")
 	httpAddr := flag.String("http", "", "serve live introspection on `addr` (/metrics, /timeline, /debug/pprof, /debug/vars) while experiments run")
 	timeline := flag.Int("timeline", 0, "attach time-resolved samplers to simulator sweeps, one window per `cycles` (implied 200 by -http)")
+	adaptive := flag.Bool("adaptive", false, "adaptive sweep engine: abort saturated points' drain budget early and locate saturation knees by bisection (same saturation results, fraction of the wall-clock)")
 	trace := flag.String("trace", "", "with -replay: write the run's packet-lifecycle events as Chrome trace-event JSON to `file` (view in Perfetto)")
 	flag.Usage = usage
 	flag.Parse()
@@ -101,7 +110,7 @@ func run() int {
 		return 2
 	}
 	opts := expt.Options{Quick: *quick, Seed: *seed, Probe: *jsonOut, Workers: *workers,
-		TimelineInterval: *timeline}
+		TimelineInterval: *timeline, Adaptive: *adaptive}
 	if *verbose {
 		opts.Logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{
 			Level: slog.LevelDebug,
@@ -150,7 +159,7 @@ func run() int {
 	}
 
 	failed := false
-	out := jsonOutput{Options: jsonOptions{Quick: *quick, Seed: *seed, Workers: *workers}}
+	out := jsonOutput{Options: jsonOptions{Quick: *quick, Seed: *seed, Workers: *workers, Adaptive: *adaptive}}
 	for _, id := range ids {
 		t, err := expt.Run(id, opts)
 		if err != nil {
@@ -292,6 +301,7 @@ examples:
   wsswitch -replay "..." -trace out.json   # packet-lifecycle trace for Perfetto
   wsswitch -http :8080 fig21               # watch the sweep saturate in real time
   wsswitch -timeline 100 -json fig22       # time-resolved series in the JSON
+  wsswitch -adaptive fig21                 # bisection saturation search + early aborts
 `)
 	flag.PrintDefaults()
 }

@@ -106,6 +106,7 @@ func runSweep(o Options, name string, build sim.Builder, injf sim.InjectorFactor
 		TimelineInterval: o.TimelineInterval,
 		Live:             o.Live, LiveName: name,
 		Progress: o.Progress,
+		Abort:    o.abort(),
 	})
 }
 
@@ -147,24 +148,56 @@ func fig21(o Options) (*Table, error) {
 	// pool already announces the cells to Progress, so the inner sweeps do
 	// not report (that would double-count).
 	sats := make([]float64, len(buffers)*len(lats))
-	err = o.pool().Each("fig21", len(sats), func(idx int) error {
-		buf, lat := buffers[idx/len(lats)], lats[idx%len(lats)]
-		cfg := o.waferscaleConfig(warm, measure, 8, buf, 4)
-		build := func() (*sim.Network, error) { return sim.Build(cl, sim.ConstantLatency(lat), cfg) }
-		res, err := sim.Sweep(build, sim.SyntheticInjector(traffic.Uniform(ports), 4), loads, sim.SweepOptions{
-			Workers: 1, Ctx: o.context(),
-			TimelineInterval: o.TimelineInterval,
-			Live:             o.Live,
-			LiveName:         fmt.Sprintf("fig21/buf=%d/lat=%d", buf, lat),
+	if o.Adaptive {
+		// Adaptive mode replaces each cell's exhaustive load grid with a
+		// bisection saturation search: O(log(1/tol)) points with the drain
+		// budget of saturated probes aborted early, reaching the same
+		// saturation plateau in a fraction of the grid's wall-clock.
+		type cellSearch struct {
+			Buffer  int                   `json:"buffer"`
+			LinkLat int                   `json:"link_latency"`
+			Search  *sim.SaturationResult `json:"search"`
+		}
+		searches := make([]cellSearch, len(sats))
+		err = o.pool().Each("fig21", len(sats), func(idx int) error {
+			buf, lat := buffers[idx/len(lats)], lats[idx%len(lats)]
+			cfg := o.waferscaleConfig(warm, measure, 8, buf, 4)
+			build := func() (*sim.Network, error) { return sim.Build(cl, sim.ConstantLatency(lat), cfg) }
+			res, err := sim.FindSaturation(build, sim.SyntheticInjector(traffic.Uniform(ports), 4),
+				sim.SaturationSearchOptions{Hi: loads[len(loads)-1], Tol: 0.05, Abort: o.abort()})
+			if err != nil {
+				return err
+			}
+			sats[idx] = res.SaturationThroughput
+			searches[idx] = cellSearch{Buffer: buf, LinkLat: lat, Search: res}
+			return nil
 		})
 		if err != nil {
-			return err
+			return nil, err
 		}
-		sats[idx] = sim.SaturationThroughput(res.Stats())
-		return nil
-	})
-	if err != nil {
-		return nil, err
+		t.Attach("adaptive_search", searches)
+		t.Notes = append(t.Notes,
+			"adaptive mode: saturation located by bisection with early-abort drains instead of the exhaustive load grid")
+	} else {
+		err = o.pool().Each("fig21", len(sats), func(idx int) error {
+			buf, lat := buffers[idx/len(lats)], lats[idx%len(lats)]
+			cfg := o.waferscaleConfig(warm, measure, 8, buf, 4)
+			build := func() (*sim.Network, error) { return sim.Build(cl, sim.ConstantLatency(lat), cfg) }
+			res, err := sim.Sweep(build, sim.SyntheticInjector(traffic.Uniform(ports), 4), loads, sim.SweepOptions{
+				Workers: 1, Ctx: o.context(),
+				TimelineInterval: o.TimelineInterval,
+				Live:             o.Live,
+				LiveName:         fmt.Sprintf("fig21/buf=%d/lat=%d", buf, lat),
+			})
+			if err != nil {
+				return err
+			}
+			sats[idx] = sim.SaturationThroughput(res.Stats())
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	for bi, buf := range buffers {
 		row := []interface{}{buf}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"waferswitch/internal/obs"
+	"waferswitch/internal/sim"
 )
 
 // Table is the result of one experiment: the rows of a paper table, or
@@ -141,6 +142,15 @@ type Options struct {
 	// merged series attaches to result tables as "<series>_timeline".
 	TimelineInterval int
 
+	// Adaptive switches simulator experiments to the adaptive sweep
+	// engine (wsswitch -adaptive): saturated sweep points abort their
+	// drain budget early once divergence is certain, and saturation-grid
+	// experiments locate the knee by bisection (sim.FindSaturation)
+	// instead of walking the whole load grid. Offered/Accepted and the
+	// saturation summary stay those of a full run; only wall-clock and
+	// the latency reported for non-drained points change.
+	Adaptive bool
+
 	// ctx carries the experiment's pprof label context, set by Run, so
 	// worker goroutines add their worker/point labels to the experiment
 	// label instead of replacing it.
@@ -148,6 +158,15 @@ type Options struct {
 }
 
 func (o Options) pool() Pool { return Pool{Workers: o.Workers, ctx: o.ctx, progress: o.Progress} }
+
+// abort maps Options.Adaptive to the sweep engine's detector options:
+// nil (detached) by default, stock tuning when adaptive mode is on.
+func (o Options) abort() *sim.AbortOptions {
+	if !o.Adaptive {
+		return nil
+	}
+	return &sim.AbortOptions{}
+}
 
 func (o Options) context() context.Context {
 	if o.ctx != nil {

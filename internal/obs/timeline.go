@@ -81,6 +81,11 @@ type Timeline struct {
 	maxSamples   int
 	samples      []TimelineSample // closed windows, capacity maxSamples
 
+	// truncated records that the run feeding this timeline ended early
+	// (early-abort saturation detection), so the series covers only a
+	// prefix of the nominal run length. Guarded by mu like samples.
+	truncated bool
+
 	// Open-window accumulators, owned by the simulating goroutine.
 	cur     TimelineSample
 	curHist Histogram // latency of packets retired in the open window
@@ -184,6 +189,16 @@ func (t *Timeline) Finish(maxChanFlits int64) {
 	}
 }
 
+// MarkTruncated flags the series as covering only a prefix of its run —
+// the simulator calls it when early-abort saturation detection cuts the
+// drain phase short, so downstream readers can tell a short series from
+// a short run.
+func (t *Timeline) MarkTruncated() {
+	t.mu.Lock()
+	t.truncated = true
+	t.mu.Unlock()
+}
+
 // Merge folds o's series into t. Both timelines must start from cycle 0
 // with base intervals where one interval divides the other (always true
 // for samplers constructed with the same interval, whose intervals only
@@ -198,13 +213,17 @@ func (t *Timeline) Merge(o *Timeline) error {
 	}
 	o.mu.Lock()
 	oInterval := o.interval
+	oTruncated := o.truncated
 	oSamples := append([]TimelineSample(nil), o.samples...)
 	o.mu.Unlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if oTruncated {
+		t.truncated = true
+	}
 	if len(oSamples) == 0 {
 		return nil
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	if len(t.samples) == 0 {
 		t.interval = oInterval
 		if t.baseInterval == 0 {
@@ -283,6 +302,11 @@ type TimelineSnapshot struct {
 	// Interval is the cycles-per-sample resolution of the series.
 	Interval int64           `json:"interval"`
 	Samples  []TimelinePoint `json:"samples,omitempty"`
+	// Truncated reports that at least one run feeding the series aborted
+	// early (saturation detected), so the series covers a prefix of the
+	// nominal run length. Omitted when false, keeping default-run JSON
+	// byte-identical.
+	Truncated bool `json:"truncated,omitempty"`
 }
 
 // Snapshot materializes the closed windows into their JSON-ready form.
@@ -292,7 +316,7 @@ type TimelineSnapshot struct {
 func (t *Timeline) Snapshot() *TimelineSnapshot {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	s := &TimelineSnapshot{Interval: t.interval}
+	s := &TimelineSnapshot{Interval: t.interval, Truncated: t.truncated}
 	for _, w := range t.samples {
 		p := TimelinePoint{
 			Start:          w.Start,

@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -244,4 +245,67 @@ func TestTimelineConcurrentSnapshot(t *testing.T) {
 	}
 	close(done)
 	wg.Wait()
+}
+
+// TestTimelineTruncated pins the truncation flag's lifecycle: off by
+// default (and absent from JSON, keeping pre-existing pinned output
+// byte-identical), set by MarkTruncated, and contagious through Merge —
+// including from a truncated timeline with no closed samples.
+func TestTimelineTruncated(t *testing.T) {
+	tl := NewTimeline(10, 64)
+	feedTimeline(tl, 25, 1, func(int) float64 { return 5 })
+	s := tl.Snapshot()
+	if s.Truncated {
+		t.Error("fresh timeline reports Truncated")
+	}
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), "truncated") {
+		t.Errorf("untruncated snapshot JSON mentions the flag: %s", raw)
+	}
+
+	tl.MarkTruncated()
+	if !tl.Snapshot().Truncated {
+		t.Error("MarkTruncated did not stick")
+	}
+	raw, err = json.Marshal(tl.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"truncated":true`) {
+		t.Errorf("truncated snapshot JSON missing the flag: %s", raw)
+	}
+
+	// Merge propagates the flag from the source...
+	agg := NewTimeline(10, 64)
+	feedTimeline(agg, 25, 1, func(int) float64 { return 5 })
+	if err := agg.Merge(tl); err != nil {
+		t.Fatal(err)
+	}
+	if !agg.Snapshot().Truncated {
+		t.Error("Merge dropped the source's Truncated flag")
+	}
+	// ...keeps it once set even when later sources are clean...
+	clean := NewTimeline(10, 64)
+	feedTimeline(clean, 25, 1, func(int) float64 { return 5 })
+	if err := agg.Merge(clean); err != nil {
+		t.Fatal(err)
+	}
+	if !agg.Snapshot().Truncated {
+		t.Error("merging a clean timeline cleared Truncated")
+	}
+	// ...and picks it up even from an empty-but-truncated source (a run
+	// aborted before its first window closed).
+	agg2 := NewTimeline(10, 64)
+	feedTimeline(agg2, 25, 1, func(int) float64 { return 5 })
+	empty := NewTimeline(10, 64)
+	empty.MarkTruncated()
+	if err := agg2.Merge(empty); err != nil {
+		t.Fatal(err)
+	}
+	if !agg2.Snapshot().Truncated {
+		t.Error("empty truncated source did not propagate through Merge")
+	}
 }

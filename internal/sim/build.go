@@ -110,6 +110,11 @@ type Network struct {
 	recordDeliv bool
 	deliveries  []Delivery
 
+	// Early-abort saturation detection (see abort.go): armed by
+	// SetAbort, nil when disabled (the default) — one nil check per
+	// cycle on the run loop, zero cost on the event sites.
+	ab *abortState
+
 	// Time-resolved observability (see observe.go): the timeline sampler
 	// and the packet-lifecycle flight recorder, both nil-checked on every
 	// event site like the probe. tlChanFlits is the timeline's

@@ -1,0 +1,79 @@
+package sim
+
+import "math"
+
+// convState implements the convergence-bounded measurement of
+// Config.ConvergeRelErr: the measurement window is split into
+// fixed-length batches, each batch's mean latency is recorded, and the
+// window closes early once the batch means are statistically stable.
+// Built once per Run (outside the cycle loop) only when the rule is
+// enabled, so the default mode allocates nothing extra.
+type convState struct {
+	batch      int64
+	minBatches int
+	relErr     float64
+
+	lastCompleted int
+	lastLatSum    float64
+	means         []float64
+}
+
+func newConvState(cfg Config) *convState {
+	batch := cfg.ConvergeBatch
+	if batch <= 0 {
+		batch = cfg.MeasureCycles / 16
+	}
+	if batch < 64 {
+		batch = 64
+	}
+	minB := cfg.ConvergeMinBatches
+	if minB <= 1 {
+		minB = 8
+	}
+	return &convState{
+		batch:      int64(batch),
+		minBatches: minB,
+		relErr:     cfg.ConvergeRelErr,
+		means:      make([]float64, 0, cfg.MeasureCycles/batch+1),
+	}
+}
+
+// endBatch closes one measurement batch. A batch with no completed
+// packets records a zero mean, which inflates the variance and defers
+// stopping — the safe direction for a congested or wedged window.
+func (c *convState) endBatch(n *Network) {
+	completed := n.completed - c.lastCompleted
+	latSum := n.latencySum - c.lastLatSum
+	c.lastCompleted = n.completed
+	c.lastLatSum = n.latencySum
+	mean := 0.0
+	if completed > 0 {
+		mean = latSum / float64(completed)
+	}
+	c.means = append(c.means, mean)
+}
+
+// stable reports whether the batch means are statistically stable: at
+// least minBatches batches exist and the 95% confidence half-width of
+// their mean (1.96 * s / sqrt(m)) is within relErr of the mean.
+func (c *convState) stable() bool {
+	m := len(c.means)
+	if m < c.minBatches {
+		return false
+	}
+	var sum float64
+	for _, v := range c.means {
+		sum += v
+	}
+	mean := sum / float64(m)
+	if mean <= 0 {
+		return false
+	}
+	var ss float64
+	for _, v := range c.means {
+		d := v - mean
+		ss += d * d
+	}
+	half := 1.96 * math.Sqrt(ss/float64(m-1)/float64(m))
+	return half <= c.relErr*mean
+}

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"testing"
+
+	"waferswitch/internal/traffic"
+)
+
+// convergeRun runs the standard 128-port Clos at a comfortable load
+// with the given convergence settings.
+func convergeRun(t *testing.T, relErr float64, batch, minBatches int) Stats {
+	t.Helper()
+	cl := testClos(t)
+	cfg := testConfig() // warmup 1000, measure 2000
+	cfg.ConvergeRelErr = relErr
+	cfg.ConvergeBatch = batch
+	cfg.ConvergeMinBatches = minBatches
+	n, err := Build(cl, ConstantLatency(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := SyntheticInjector(traffic.Uniform(128), cfg.PacketFlits)(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n.Run(inj, 0.3)
+}
+
+// TestConvergenceDefaultUntouched pins the opt-in contract: a zero
+// ConvergeRelErr must leave the run bit-identical to one that predates
+// the stopping rule — same cycles, same stats, no Converged flag.
+func TestConvergenceDefaultUntouched(t *testing.T) {
+	def := convergeRun(t, 0, 0, 0)
+	if def.Converged {
+		t.Error("default run reported Converged")
+	}
+	// An impossibly tight threshold arms the machinery but can never
+	// fire, so the full window runs and every figure matches the default
+	// run exactly — the batch bookkeeping reads counters without touching
+	// simulation state.
+	tight := convergeRun(t, 1e-12, 0, 0)
+	if tight.Converged {
+		t.Error("1e-12 relative error reported Converged")
+	}
+	if tight != def {
+		t.Errorf("armed-but-unfired stopping rule changed the stats:\ndefault %+v\narmed   %+v", def, tight)
+	}
+}
+
+// TestConvergenceTruncatesWindow pins the stopping rule's effect: a
+// loose threshold at a comfortably sub-saturation load closes the
+// measurement window early, the run reports Converged and spends fewer
+// cycles, and the renormalized accepted throughput still tracks the
+// offered load.
+func TestConvergenceTruncatesWindow(t *testing.T) {
+	def := convergeRun(t, 0, 0, 0)
+	conv := convergeRun(t, 0.10, 128, 4)
+	if !conv.Converged {
+		t.Fatal("10% relative error at load 0.3 did not converge")
+	}
+	if conv.Cycles >= def.Cycles {
+		t.Errorf("converged run used %d cycles, full run %d — no saving", conv.Cycles, def.Cycles)
+	}
+	if !conv.Drained {
+		t.Error("converged run failed to drain")
+	}
+	if conv.Accepted < 0.28 || conv.Accepted > 0.32 {
+		t.Errorf("converged accepted throughput %.4f strayed from offered 0.3 — renormalization broken", conv.Accepted)
+	}
+	if conv.AvgLatency < def.AvgLatency*0.8 || conv.AvgLatency > def.AvgLatency*1.2 {
+		t.Errorf("converged latency %.2f far from full-window %.2f", conv.AvgLatency, def.AvgLatency)
+	}
+}
+
+// TestConvergenceDeterministic pins reproducibility: the stopping rule
+// runs on a fixed batch cadence, so identical configs stop at the
+// identical cycle.
+func TestConvergenceDeterministic(t *testing.T) {
+	first := convergeRun(t, 0.10, 128, 4)
+	second := convergeRun(t, 0.10, 128, 4)
+	if first != second {
+		t.Errorf("convergence-bounded runs diverged:\n%+v\n%+v", first, second)
+	}
+}
+
+// TestConvergenceConfigValidation pins that negative convergence
+// parameters are rejected at Build time.
+func TestConvergenceConfigValidation(t *testing.T) {
+	cl := testClos(t)
+	for _, mut := range []func(*Config){
+		func(c *Config) { c.ConvergeRelErr = -0.1 },
+		func(c *Config) { c.ConvergeBatch = -1 },
+		func(c *Config) { c.ConvergeMinBatches = -1 },
+	} {
+		cfg := testConfig()
+		mut(&cfg)
+		if _, err := Build(cl, ConstantLatency(1), cfg); err == nil {
+			t.Errorf("config %+v accepted, want validation error", cfg)
+		}
+	}
+}

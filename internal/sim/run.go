@@ -95,6 +95,11 @@ func (n *Network) Run(inj Injector, offered float64) Stats {
 	if window < 1 {
 		window = 1
 	}
+	var conv *convState
+	if cfg.ConvergeRelErr > 0 {
+		conv = newConvState(cfg)
+	}
+	converged := false
 	for n.now = 0; n.now < n.measEnd; n.now++ {
 		n.step(inj)
 		if n.logger != nil && (n.now+1)%window == 0 {
@@ -103,20 +108,56 @@ func (n *Network) Run(inj Injector, offered float64) Stats {
 				"born", n.measuredBorn, "completed", n.completed,
 				"ejected_flits", n.ejectedFlits)
 		}
+		// Divergence detection and the convergence stopping rule both run
+		// on fixed cycle cadences relative to the measurement start, so
+		// their decisions are pure functions of the seed.
+		if (n.ab != nil || conv != nil) && n.now >= n.measStart {
+			elapsed := n.now - n.measStart + 1
+			if n.ab != nil && elapsed%n.ab.every == 0 {
+				n.ab.measureCheck(n, offered)
+			}
+			if conv != nil && elapsed%conv.batch == 0 && n.now+1 < n.measEnd {
+				conv.endBatch(n)
+				if conv.stable() {
+					n.measEnd = n.now + 1 // close the window; drain follows
+					converged = true
+				}
+			}
+		}
 	}
 	deadline := n.measEnd + drain
-	for n.completed < n.measuredBorn && n.now < deadline {
-		n.step(inj)
-		n.now++
+	aborted := false
+	if n.ab != nil && n.ab.armed && n.completed < n.measuredBorn {
+		// Saturation became certain during measurement: the whole drain
+		// budget would only confirm Drained=false. Skip it.
+		aborted = true
+	} else {
+		if n.ab != nil {
+			n.ab.startDrain(n.completed)
+		}
+		for n.completed < n.measuredBorn && n.now < deadline {
+			n.step(inj)
+			n.now++
+			if n.ab != nil && (n.now-n.measEnd)%n.ab.every == 0 &&
+				n.ab.drainCheck(n, deadline) {
+				aborted = true
+				break
+			}
+		}
 	}
 	if n.tline != nil {
 		n.closeTimelineWindow() // flush the partial final window
+		if aborted {
+			n.tline.MarkTruncated()
+		}
 	}
 	st := Stats{
 		Offered:   offered,
-		Accepted:  float64(n.ejectedFlits) / float64(n.T) / float64(cfg.MeasureCycles),
+		Accepted:  float64(n.ejectedFlits) / float64(n.T) / float64(n.measEnd-n.measStart),
 		Completed: n.completed,
 		Drained:   n.completed >= n.measuredBorn,
+		Aborted:   aborted,
+		Converged: converged,
 		Cycles:    n.now,
 	}
 	if n.completed > 0 {
@@ -140,7 +181,8 @@ func (n *Network) Run(inj Injector, offered float64) Stats {
 			n.logger.Warn("sim.saturated",
 				"offered", offered, "accepted", st.Accepted,
 				"completed", st.Completed, "born", n.measuredBorn,
-				"stranded", n.measuredBorn-st.Completed, "cycles", st.Cycles)
+				"stranded", n.measuredBorn-st.Completed, "cycles", st.Cycles,
+				"aborted", st.Aborted)
 		}
 	}
 	return st

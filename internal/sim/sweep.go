@@ -84,6 +84,13 @@ type SweepOptions struct {
 	// Progress, when non-nil, receives this sweep's point total up front
 	// and a tick per completed point.
 	Progress *obs.Progress
+
+	// Abort, when non-nil, arms the early-abort saturation detector on
+	// every point (see AbortOptions). The measurement window always runs
+	// to completion, so Offered, Accepted and the Summarize reduction
+	// match a full sweep; saturated points skip the drain budget and
+	// report Stats.Aborted alongside Drained=false.
+	Abort *AbortOptions
 }
 
 // SweepResult is the outcome of a load sweep: per-point stats (and probe
@@ -146,6 +153,9 @@ func Sweep(build Builder, injf InjectorFactory, loads []float64, opt SweepOption
 			return err
 		}
 		n.Reseed(PointSeed(n.BaseSeed(), i))
+		if opt.Abort != nil {
+			n.SetAbort(opt.Abort)
+		}
 		inj, err := injf(loads[i])
 		if err != nil {
 			return err
