@@ -28,11 +28,19 @@
 //	                           JSON (open in ui.perfetto.dev)
 //	wsswitch -http :8080 ...   serve live introspection while running:
 //	                           /metrics (Prometheus text), /timeline
-//	                           (sampler series JSON), /debug/pprof,
-//	                           /debug/vars (expvar)
+//	                           (sampler series JSON), /attribution and
+//	                           /heatmap (congestion attribution),
+//	                           /debug/pprof, /debug/vars (expvar);
+//	                           SIGINT/SIGTERM drain the server and exit 0
 //	wsswitch -timeline N ...   attach time-resolved samplers (N-cycle
 //	                           windows) to sweeps; series attach to
 //	                           -json tables as <series>_timeline
+//	wsswitch -attribution ...  attach congestion attribution to sweeps
+//	                           (implied by -http): per-stage latency
+//	                           decomposition, per-router blame heatmap
+//	                           and backpressure root-cause reports attach
+//	                           to -json tables as <series>_attribution;
+//	                           saturated points add a post-mortem note
 //	wsswitch -adaptive <id>    adaptive sweep engine: early-abort the
 //	                           drain budget of saturated points and find
 //	                           saturation knees by bisection instead of
@@ -41,13 +49,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
+	"time"
 
 	"waferswitch/internal/expt"
 	"waferswitch/internal/obs"
@@ -70,6 +82,8 @@ type jsonOptions struct {
 	// Adaptive is omitted when false so default runs serialize exactly as
 	// before the adaptive engine existed.
 	Adaptive bool `json:"adaptive,omitempty"`
+	// Attribution is likewise omitted when congestion attribution is off.
+	Attribution bool `json:"attribution,omitempty"`
 }
 
 type jsonResult struct {
@@ -94,6 +108,7 @@ func run() int {
 	httpAddr := flag.String("http", "", "serve live introspection on `addr` (/metrics, /timeline, /debug/pprof, /debug/vars) while experiments run")
 	timeline := flag.Int("timeline", 0, "attach time-resolved samplers to simulator sweeps, one window per `cycles` (implied 200 by -http)")
 	adaptive := flag.Bool("adaptive", false, "adaptive sweep engine: abort saturated points' drain budget early and locate saturation knees by bisection (same saturation results, fraction of the wall-clock)")
+	attribution := flag.Bool("attribution", false, "attach congestion attribution to simulator sweeps (implied by -http): per-stage latency decomposition, blame heatmap, backpressure root-cause reports")
 	trace := flag.String("trace", "", "with -replay: write the run's packet-lifecycle events as Chrome trace-event JSON to `file` (view in Perfetto)")
 	flag.Usage = usage
 	flag.Parse()
@@ -110,7 +125,7 @@ func run() int {
 		return 2
 	}
 	opts := expt.Options{Quick: *quick, Seed: *seed, Probe: *jsonOut, Workers: *workers,
-		TimelineInterval: *timeline, Adaptive: *adaptive}
+		TimelineInterval: *timeline, Adaptive: *adaptive, Attribution: *attribution}
 	if *verbose {
 		opts.Logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{
 			Level: slog.LevelDebug,
@@ -122,13 +137,32 @@ func run() int {
 		}
 		opts.Progress = &obs.Progress{}
 		opts.Live = &obs.LiveTimelines{}
-		srv, err := startServer(*httpAddr, opts.Progress, opts.Live)
+		opts.Attribution = true // live /attribution and /heatmap need collectors
+		opts.LiveAttrib = &obs.LiveAttribution{}
+		srv, err := startServer(*httpAddr, opts.Progress, opts.Live, opts.LiveAttrib)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "wsswitch: %v\n", err)
 			return 1
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "wsswitch: introspection server on http://%s (/metrics /timeline /debug/pprof /debug/vars)\n", srv.Addr())
+		fmt.Fprintf(os.Stderr, "wsswitch: introspection server on http://%s (/metrics /timeline /attribution /heatmap /debug/pprof /debug/vars)\n", srv.Addr())
+		// Graceful shutdown: SIGINT/SIGTERM stop the listener, let
+		// in-flight scrapes finish (bounded), and exit 0 — so supervisors
+		// that TERM a monitored run don't lose the final scrape or see a
+		// failure exit.
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			sig := <-sigc
+			signal.Stop(sigc) // a second signal kills the process normally
+			fmt.Fprintf(os.Stderr, "wsswitch: %v: draining introspection server\n", sig)
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				fmt.Fprintf(os.Stderr, "wsswitch: shutdown: %v\n", err)
+			}
+			os.Exit(0)
+		}()
 	}
 
 	var ids []string
@@ -159,7 +193,8 @@ func run() int {
 	}
 
 	failed := false
-	out := jsonOutput{Options: jsonOptions{Quick: *quick, Seed: *seed, Workers: *workers, Adaptive: *adaptive}}
+	out := jsonOutput{Options: jsonOptions{Quick: *quick, Seed: *seed, Workers: *workers,
+		Adaptive: *adaptive, Attribution: opts.Attribution}}
 	for _, id := range ids {
 		t, err := expt.Run(id, opts)
 		if err != nil {
@@ -302,6 +337,7 @@ examples:
   wsswitch -http :8080 fig21               # watch the sweep saturate in real time
   wsswitch -timeline 100 -json fig22       # time-resolved series in the JSON
   wsswitch -adaptive fig21                 # bisection saturation search + early aborts
+  wsswitch -attribution -json fig22        # stage latency breakdown + blame heatmap
 `)
 	flag.PrintDefaults()
 }

@@ -1,28 +1,34 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof/* on http.DefaultServeMux
+	httppprof "net/http/pprof"
 	"sync"
 
 	"waferswitch/internal/obs"
 )
 
 // server is the live introspection endpoint behind `wsswitch -http`:
-// Prometheus-text /metrics and streaming /timeline fed by the running
-// experiment suite, plus the stdlib /debug/pprof and /debug/vars
-// (expvar) handlers. Everything it reads is concurrency-safe snapshot
-// state (obs.Progress, obs.LiveTimelines, and Timeline.Snapshot, which
+// Prometheus-text /metrics, streaming /timeline, and the congestion
+// /attribution and /heatmap views fed by the running experiment suite,
+// plus the stdlib /debug/pprof and /debug/vars (expvar) handlers.
+// Everything it reads is concurrency-safe snapshot state (obs.Progress,
+// obs.LiveTimelines, obs.LiveAttribution, and Timeline.Snapshot, which
 // tolerates the simulating goroutine writing), so serving a request
-// never perturbs simulation results.
+// never perturbs simulation results. Handlers register on the server's
+// own mux (not http.DefaultServeMux), so a process can start servers
+// repeatedly (tests do) without handler-collision panics.
 type server struct {
 	ln   net.Listener
+	srv  *http.Server
 	prog *obs.Progress
 	live *obs.LiveTimelines
+	attr *obs.LiveAttribution
 }
 
 // expvar.Publish panics on duplicate names, so the progress/timeline
@@ -32,34 +38,51 @@ var publishVars sync.Once
 
 // startServer listens on addr and serves in a background goroutine.
 // The returned server reports the bound address (Addr), so addr may use
-// port 0.
-func startServer(addr string, prog *obs.Progress, live *obs.LiveTimelines) (*server, error) {
-	s := &server{prog: prog, live: live}
+// port 0. attr may be nil; /attribution and /heatmap then report 404.
+func startServer(addr string, prog *obs.Progress, live *obs.LiveTimelines, attr *obs.LiveAttribution) (*server, error) {
+	s := &server{prog: prog, live: live, attr: attr}
 	publishVars.Do(func() {
 		expvar.Publish("wsswitch.progress", expvar.Func(func() any { return s.prog.Snapshot() }))
 		expvar.Publish("wsswitch.timelines", expvar.Func(func() any { return s.live.Names() }))
 	})
-	http.HandleFunc("/metrics", s.metrics)
-	http.HandleFunc("/timeline", s.timeline)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.metrics)
+	mux.HandleFunc("/timeline", s.timeline)
+	mux.HandleFunc("/attribution", s.attribution)
+	mux.HandleFunc("/heatmap", s.heatmap)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("wsswitch: -http %s: %w", addr, err)
 	}
 	s.ln = ln
-	go http.Serve(ln, nil) //nolint:errcheck // dies with the process
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln) //nolint:errcheck // returns ErrServerClosed on Shutdown/Close
 	return s, nil
 }
 
 // Addr returns the bound listen address.
 func (s *server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the listener (in-flight handlers finish on their own).
-func (s *server) Close() error { return s.ln.Close() }
+// Close stops the server immediately (in-flight handlers are abandoned).
+func (s *server) Close() error { return s.srv.Close() }
+
+// Shutdown drains the server gracefully: the listener stops accepting
+// immediately and in-flight requests run to completion (bounded by ctx).
+// The SIGINT/SIGTERM path uses it so a scrape in progress gets its
+// response before the process exits.
+func (s *server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }
 
 // metrics serves the experiment pool's progress in Prometheus text
 // exposition format: points completed/total, elapsed and extrapolated
-// remaining seconds, per-worker current experiment, and the number of
-// live timeline series.
+// remaining seconds, per-worker current experiment, the number of live
+// timeline series, and — with attribution enabled — per-stage latency
+// totals over the completed points.
 func (s *server) metrics(w http.ResponseWriter, _ *http.Request) {
 	snap := s.prog.Snapshot()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -83,6 +106,31 @@ func (s *server) metrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# HELP wsswitch_timelines Registered live timeline series.\n")
 	fmt.Fprintf(w, "# TYPE wsswitch_timelines gauge\n")
 	fmt.Fprintf(w, "wsswitch_timelines %d\n", len(s.live.Names()))
+	if s.attr == nil {
+		return
+	}
+	asnap := s.attr.Snapshot(0)
+	if asnap == nil {
+		return
+	}
+	fmt.Fprintf(w, "# HELP wsswitch_attributed_packets Measured packets with a per-stage latency decomposition.\n")
+	fmt.Fprintf(w, "# TYPE wsswitch_attributed_packets counter\n")
+	fmt.Fprintf(w, "wsswitch_attributed_packets %d\n", asnap.Packets)
+	fmt.Fprintf(w, "# HELP wsswitch_stage_cycles_total Latency cycles attributed to each pipeline stage.\n")
+	fmt.Fprintf(w, "# TYPE wsswitch_stage_cycles_total counter\n")
+	for _, st := range asnap.Stages {
+		fmt.Fprintf(w, "wsswitch_stage_cycles_total{stage=%q} %g\n", st.Stage, st.Share*asnap.TotalCycles)
+	}
+	fmt.Fprintf(w, "# HELP wsswitch_stage_latency_mean_cycles Mean per-packet cycles spent in each stage.\n")
+	fmt.Fprintf(w, "# TYPE wsswitch_stage_latency_mean_cycles gauge\n")
+	for _, st := range asnap.Stages {
+		fmt.Fprintf(w, "wsswitch_stage_latency_mean_cycles{stage=%q} %g\n", st.Stage, st.Latency.Mean)
+	}
+	fmt.Fprintf(w, "# HELP wsswitch_stage_latency_p99_cycles P99 per-packet cycles spent in each stage.\n")
+	fmt.Fprintf(w, "# TYPE wsswitch_stage_latency_p99_cycles gauge\n")
+	for _, st := range asnap.Stages {
+		fmt.Fprintf(w, "wsswitch_stage_latency_p99_cycles{stage=%q} %g\n", st.Stage, st.Latency.P99)
+	}
 }
 
 // timeline streams the sampler series of running (and finished)
@@ -106,4 +154,47 @@ func (s *server) timeline(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	enc.Encode(s.live.Snapshot()) //nolint:errcheck // client gone
+}
+
+// attribution serves the live congestion attribution: the merged stage
+// breakdown and blame rankings over completed sweep points, plus the
+// backpressure root-cause reports of points that failed to drain, keyed
+// by point name. 404 until the first point completes.
+func (s *server) attribution(w http.ResponseWriter, _ *http.Request) {
+	if s.attr == nil {
+		http.Error(w, "attribution disabled (run with -attribution or -http)", http.StatusNotFound)
+		return
+	}
+	snap := s.attr.Snapshot(8)
+	if snap == nil {
+		http.Error(w, "no sweep point completed yet", http.StatusNotFound)
+		return
+	}
+	out := struct {
+		Attribution  *obs.AttributionSnapshot           `json:"attribution"`
+		Backpressure map[string]*obs.BackpressureReport `json:"backpressure,omitempty"`
+	}{snap, s.attr.Reports()}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out) //nolint:errcheck // client gone
+}
+
+// heatmap serves just the per-router stall matrix of the live
+// attribution — rows are routers, columns the stall/blame kinds — the
+// compact form a dashboard renders as a color matrix.
+func (s *server) heatmap(w http.ResponseWriter, _ *http.Request) {
+	if s.attr == nil {
+		http.Error(w, "attribution disabled (run with -attribution or -http)", http.StatusNotFound)
+		return
+	}
+	snap := s.attr.Snapshot(0)
+	if snap == nil || snap.Heatmap == nil {
+		http.Error(w, "no sweep point completed yet", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(snap.Heatmap) //nolint:errcheck // client gone
 }

@@ -1,15 +1,19 @@
 package main
 
 import (
+	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"waferswitch/internal/expt"
 	"waferswitch/internal/obs"
@@ -32,17 +36,26 @@ func get(t *testing.T, srv *server, path string) (int, string) {
 }
 
 // The introspection server must expose /metrics (Prometheus text),
-// /timeline (series JSON), expvar and pprof — while an experiment runs
-// and reports into the shared Progress/LiveTimelines, without changing
-// its results.
+// /timeline (series JSON), /attribution, /heatmap, expvar and pprof —
+// while an experiment runs and reports into the shared
+// Progress/LiveTimelines/LiveAttribution, without changing its results.
 func TestServerEndpointsDuringRun(t *testing.T) {
 	prog := &obs.Progress{}
 	live := &obs.LiveTimelines{}
-	srv, err := startServer("127.0.0.1:0", prog, live)
+	attr := &obs.LiveAttribution{}
+	srv, err := startServer("127.0.0.1:0", prog, live, attr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
+
+	// Before any point completes, the attribution endpoints 404.
+	if code, _ := get(t, srv, "/attribution"); code != http.StatusNotFound {
+		t.Errorf("/attribution before any point: status %d, want 404", code)
+	}
+	if code, _ := get(t, srv, "/heatmap"); code != http.StatusNotFound {
+		t.Errorf("/heatmap before any point: status %d, want 404", code)
+	}
 
 	// Baseline: the experiment without any introspection attached.
 	plain, err := expt.Run("fig21", expt.Options{Quick: true, Seed: 3, Workers: 2})
@@ -64,10 +77,13 @@ func TestServerEndpointsDuringRun(t *testing.T) {
 			}
 			get(t, srv, "/metrics")
 			get(t, srv, "/timeline")
+			get(t, srv, "/attribution")
+			get(t, srv, "/heatmap")
 		}
 	}()
 	served, err := expt.Run("fig21", expt.Options{Quick: true, Seed: 3, Workers: 2,
-		Progress: prog, Live: live, TimelineInterval: 100})
+		Progress: prog, Live: live, TimelineInterval: 100,
+		Attribution: true, LiveAttrib: attr})
 	close(done)
 	wg.Wait()
 	if err != nil {
@@ -85,6 +101,9 @@ func TestServerEndpointsDuringRun(t *testing.T) {
 		"# TYPE wsswitch_points_total gauge", "wsswitch_points_total",
 		"wsswitch_points_done", "wsswitch_elapsed_seconds", "wsswitch_eta_seconds",
 		"wsswitch_timelines",
+		"wsswitch_attributed_packets", "wsswitch_stage_cycles_total",
+		`wsswitch_stage_latency_mean_cycles{stage="credit_stall"}`,
+		`wsswitch_stage_latency_p99_cycles{stage="serialization"}`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q:\n%s", want, body)
@@ -131,13 +150,123 @@ func TestServerEndpointsDuringRun(t *testing.T) {
 		t.Errorf("unknown series returned status %d, want 404", code)
 	}
 
-	// expvar and pprof ride on DefaultServeMux.
+	// /attribution: merged stage breakdown with blame rankings.
+	code, body = get(t, srv, "/attribution")
+	if code != http.StatusOK {
+		t.Fatalf("/attribution: status %d\n%s", code, body)
+	}
+	var attribDoc struct {
+		Attribution *obs.AttributionSnapshot `json:"attribution"`
+	}
+	if err := json.Unmarshal([]byte(body), &attribDoc); err != nil {
+		t.Fatalf("/attribution not valid JSON: %v", err)
+	}
+	if attribDoc.Attribution == nil || attribDoc.Attribution.Packets == 0 {
+		t.Fatalf("/attribution has no packets after an attribution-enabled run:\n%s", body)
+	}
+	var sumShares float64
+	for _, st := range attribDoc.Attribution.Stages {
+		sumShares += st.Share
+	}
+	if sumShares < 0.999 || sumShares > 1.001 {
+		t.Errorf("/attribution stage shares sum to %g, want 1", sumShares)
+	}
+
+	// /heatmap: the per-router stall matrix alone.
+	code, body = get(t, srv, "/heatmap")
+	if code != http.StatusOK {
+		t.Fatalf("/heatmap: status %d\n%s", code, body)
+	}
+	var hm obs.Heatmap
+	if err := json.Unmarshal([]byte(body), &hm); err != nil {
+		t.Fatalf("/heatmap not valid JSON: %v", err)
+	}
+	if len(hm.Columns) == 0 || len(hm.Rows) == 0 {
+		t.Errorf("/heatmap empty: %d columns, %d rows", len(hm.Columns), len(hm.Rows))
+	}
+	for i, row := range hm.Rows {
+		if len(row) != len(hm.Columns) {
+			t.Fatalf("/heatmap row %d has %d cells for %d columns", i, len(row), len(hm.Columns))
+		}
+	}
+
+	// expvar and pprof ride on the server's own mux.
 	code, body = get(t, srv, "/debug/vars")
 	if code != http.StatusOK || !strings.Contains(body, "wsswitch.progress") {
 		t.Errorf("/debug/vars status %d, wsswitch.progress present: %v", code, strings.Contains(body, "wsswitch.progress"))
 	}
 	if code, _ = get(t, srv, "/debug/pprof/cmdline"); code != http.StatusOK {
 		t.Errorf("/debug/pprof/cmdline: status %d", code)
+	}
+}
+
+// Shutdown must stop accepting new connections while letting an
+// in-flight request run to completion with a full response — the
+// SIGINT/SIGTERM drain path.
+func TestServerGracefulShutdown(t *testing.T) {
+	srv, err := startServer("127.0.0.1:0", &obs.Progress{}, &obs.LiveTimelines{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// With no LiveAttribution wired, the attribution endpoints say so.
+	if code, body := get(t, srv, "/attribution"); code != http.StatusNotFound || !strings.Contains(body, "disabled") {
+		t.Errorf("/attribution with nil attr: status %d body %q", code, body)
+	}
+
+	// Put a request in flight: send the headers but hold back the final
+	// CRLF so the server has read bytes (the connection is active, not
+	// idle) but no handler has run yet.
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "GET /metrics HTTP/1.1\r\nHost: wsswitch\r\n"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond) // let the server read the partial request
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownErr <- srv.Shutdown(ctx)
+	}()
+
+	// New connections must be refused once the listener closes.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			break
+		}
+		c.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("server still accepting connections after Shutdown began")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The in-flight request still completes with a full response.
+	if _, err := fmt.Fprintf(conn, "Connection: close\r\n\r\n"); err != nil {
+		t.Fatalf("completing in-flight request: %v", err)
+	}
+	resp, err := http.ReadResponse(bufio.NewReader(conn), nil)
+	if err != nil {
+		t.Fatalf("in-flight request dropped during shutdown: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("reading drained response: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "wsswitch_points_total") {
+		t.Errorf("drained response: status %d body %q", resp.StatusCode, body)
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Errorf("Shutdown: %v", err)
 	}
 }
 

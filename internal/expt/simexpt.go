@@ -3,6 +3,7 @@ package expt
 import (
 	"fmt"
 
+	"waferswitch/internal/obs"
 	"waferswitch/internal/sim"
 	"waferswitch/internal/ssc"
 	"waferswitch/internal/topo"
@@ -92,6 +93,14 @@ func sweepAttach(t *Table, o Options, series string, res *sim.SweepResult) {
 	if res.Timeline != nil {
 		t.Attach(series+"_timeline", res.Timeline)
 	}
+	if res.Attribution != nil {
+		t.Attach(series+"_attribution", res.Attribution)
+	}
+	for _, p := range res.Points {
+		if p.PostMortem != "" {
+			t.Notes = append(t.Notes, fmt.Sprintf("%s load=%g %s", series, p.Stats.Offered, p.PostMortem))
+		}
+	}
 }
 
 // runSweep executes one load sweep through the parallel sweep engine,
@@ -105,8 +114,10 @@ func runSweep(o Options, name string, build sim.Builder, injf sim.InjectorFactor
 		Workers: o.Workers, Probe: o.Probe, Ctx: o.context(),
 		TimelineInterval: o.TimelineInterval,
 		Live:             o.Live, LiveName: name,
-		Progress: o.Progress,
-		Abort:    o.abort(),
+		Progress:    o.Progress,
+		Abort:       o.abort(),
+		Attribution: o.Attribution,
+		LiveAttrib:  o.LiveAttrib,
 	})
 }
 
@@ -179,6 +190,21 @@ func fig21(o Options) (*Table, error) {
 		t.Notes = append(t.Notes,
 			"adaptive mode: saturation located by bisection with early-abort drains instead of the exhaustive load grid")
 	} else {
+		// With attribution on, each grid cell keeps its merged stage
+		// breakdown and heatmap plus the post-mortems of its saturated
+		// points — the knee of every buffer/latency combination explains
+		// itself (see EXPERIMENTS.md "Reading a fig21 heatmap").
+		type cellAttrib struct {
+			Buffer       int                       `json:"buffer"`
+			LinkLat      int                       `json:"link_latency"`
+			Attribution  *obs.AttributionSnapshot  `json:"attribution"`
+			PostMortems  []string                  `json:"post_mortems,omitempty"`
+			Backpressure []*obs.BackpressureReport `json:"backpressure,omitempty"`
+		}
+		var cells []cellAttrib
+		if o.Attribution {
+			cells = make([]cellAttrib, len(sats))
+		}
 		err = o.pool().Each("fig21", len(sats), func(idx int) error {
 			buf, lat := buffers[idx/len(lats)], lats[idx%len(lats)]
 			cfg := o.waferscaleConfig(warm, measure, 8, buf, 4)
@@ -188,15 +214,32 @@ func fig21(o Options) (*Table, error) {
 				TimelineInterval: o.TimelineInterval,
 				Live:             o.Live,
 				LiveName:         fmt.Sprintf("fig21/buf=%d/lat=%d", buf, lat),
+				Attribution:      o.Attribution,
+				LiveAttrib:       o.LiveAttrib,
 			})
 			if err != nil {
 				return err
 			}
 			sats[idx] = sim.SaturationThroughput(res.Stats())
+			if o.Attribution {
+				cell := cellAttrib{Buffer: buf, LinkLat: lat, Attribution: res.Attribution}
+				for _, p := range res.Points {
+					if p.PostMortem != "" {
+						cell.PostMortems = append(cell.PostMortems, p.PostMortem)
+					}
+					if p.Backpressure != nil {
+						cell.Backpressure = append(cell.Backpressure, p.Backpressure)
+					}
+				}
+				cells[idx] = cell
+			}
 			return nil
 		})
 		if err != nil {
 			return nil, err
+		}
+		if o.Attribution {
+			t.Attach("attribution_cells", cells)
 		}
 	}
 	for bi, buf := range buffers {

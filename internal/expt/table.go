@@ -142,6 +142,18 @@ type Options struct {
 	// merged series attaches to result tables as "<series>_timeline".
 	TimelineInterval int
 
+	// Attribution attaches congestion-attribution collectors to every
+	// simulator sweep point (wsswitch -attribution, implied by -http):
+	// the per-stage latency decomposition and per-router blame heatmap
+	// attach to result tables as "<series>_attribution", and saturated
+	// points add their post-mortem to the table notes.
+	Attribution bool
+	// LiveAttrib, when non-nil (and Attribution set), receives each
+	// completed point's attribution and each saturated point's
+	// backpressure report — the feed behind the introspection server's
+	// /attribution and /heatmap endpoints.
+	LiveAttrib *obs.LiveAttribution
+
 	// Adaptive switches simulator experiments to the adaptive sweep
 	// engine (wsswitch -adaptive): saturated sweep points abort their
 	// drain budget early once divergence is certain, and saturation-grid

@@ -2,7 +2,9 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -123,4 +125,88 @@ func TestLiveTimelinesConcurrent(t *testing.T) {
 	}
 	close(done)
 	wg.Wait()
+}
+
+// When the pool resizes between experiments (different Workers option),
+// labels of retired workers must not linger: each worker clears its
+// entry on exit, so a later snapshot lists only the live pool.
+func TestProgressWorkerLifecycleAfterResize(t *testing.T) {
+	var p Progress
+	// First experiment: a 4-worker pool.
+	for w := 0; w < 4; w++ {
+		p.SetWorker(fmt.Sprintf("fig21/w%d", w), fmt.Sprintf("fig21/point=%d", w))
+	}
+	if got := len(p.Snapshot().Workers); got != 4 {
+		t.Fatalf("4-worker pool publishes %d entries", got)
+	}
+	// Pool drains: every worker clears its label on exit.
+	for w := 0; w < 4; w++ {
+		p.SetWorker(fmt.Sprintf("fig21/w%d", w), "")
+	}
+	if got := p.Snapshot().Workers; len(got) != 0 {
+		t.Fatalf("drained pool leaves stale entries: %+v", got)
+	}
+	// Second experiment resizes to 2 workers under a different prefix;
+	// only those two may appear.
+	for w := 0; w < 2; w++ {
+		p.SetWorker(fmt.Sprintf("fig22/w%d", w), "fig22/point=0")
+	}
+	s := p.Snapshot()
+	if len(s.Workers) != 2 {
+		t.Fatalf("2-worker pool publishes %d entries: %+v", len(s.Workers), s.Workers)
+	}
+	for _, ws := range s.Workers {
+		if strings.HasPrefix(ws.Worker, "fig21/") {
+			t.Errorf("stale fig21 worker %q survived the resize", ws.Worker)
+		}
+	}
+	// Clearing a never-registered worker is a harmless no-op.
+	p.SetWorker("fig22/w9", "")
+	if got := len(p.Snapshot().Workers); got != 2 {
+		t.Errorf("no-op clear changed the ledger to %d entries", got)
+	}
+}
+
+// Attach and Detach race against Snapshot/Names when sweep points start
+// and finish while the HTTP handler reads; -race coverage for the full
+// registry lifecycle (TestLiveTimelinesConcurrent covers attach-only).
+func TestLiveTimelinesAttachDetachRace(t *testing.T) {
+	var l LiveTimelines
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("series-%d", w)
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				tl := NewTimeline(2, 8)
+				l.Attach(name, tl)
+				tl.NoteInject()
+				if tl.Tick(1) {
+					tl.EndInterval(1)
+				}
+				l.Detach(name)
+			}
+		}(w)
+	}
+	for i := 0; i < 300; i++ {
+		for name, snap := range l.Snapshot() {
+			if snap == nil {
+				t.Errorf("nil snapshot for %q", name)
+			}
+		}
+		_ = l.Names()
+	}
+	close(done)
+	wg.Wait()
+	// All workers detached on exit; the registry must be empty.
+	if got := l.Names(); len(got) != 0 {
+		t.Errorf("registry not empty after detach: %v", got)
+	}
 }

@@ -236,8 +236,12 @@ func (t *Timeline) Merge(o *Timeline) error {
 	if small > big {
 		big, small = small, big
 	}
-	if big%small != 0 {
-		return fmt.Errorf("obs: merging timelines with incommensurate intervals %d and %d", oInterval, t.interval)
+	// Coarsening proceeds by interval doubling, so the finer series can
+	// only reach the coarser one when the ratio is a power of two. A bare
+	// divisibility check would accept ratios like 6/2 = 3 and then
+	// silently misalign (2 doubles to 4 and 8, never 6).
+	if ratio := big / small; big%small != 0 || ratio&(ratio-1) != 0 {
+		return fmt.Errorf("obs: merging timelines with mismatched intervals %d and %d (ratio must be a power of two)", oInterval, t.interval)
 	}
 	// Coarsen the finer series to the coarser interval.
 	for t.interval < oInterval {

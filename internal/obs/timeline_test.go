@@ -309,3 +309,98 @@ func TestTimelineTruncated(t *testing.T) {
 		t.Error("empty truncated source did not propagate through Merge")
 	}
 }
+
+// Merging timelines whose intervals are not a power-of-two multiple of
+// each other must fail loudly: doubling-based coarsening can never align
+// them, and a bare divisibility check (6 % 2 == 0) would silently
+// misattribute windows.
+func TestTimelineMergeMismatchedIntervals(t *testing.T) {
+	lat := func(int) float64 { return 7 }
+	a := NewTimeline(2, 8)
+	feedTimeline(a, 12, 1, lat)
+	b := NewTimeline(6, 8)
+	feedTimeline(b, 12, 1, lat)
+	err := a.Merge(b)
+	if err == nil {
+		t.Fatal("merging intervals 2 and 6 succeeded")
+	}
+	for _, want := range []string{"2", "6", "power of two"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+	// The failed merge must not have corrupted the receiver.
+	var total int64
+	for _, p := range a.Snapshot().Samples {
+		total += p.Injected
+	}
+	if total != 12 {
+		t.Errorf("receiver injects %d after failed merge, want 12", total)
+	}
+	// Power-of-two ratios (3 vs 6 and 6 vs 3) merge fine, either way
+	// around: the coarser interval wins.
+	c := NewTimeline(3, 8)
+	feedTimeline(c, 12, 1, lat)
+	d := NewTimeline(6, 8)
+	feedTimeline(d, 12, 1, lat)
+	if err := c.Merge(d); err != nil {
+		t.Fatalf("merging intervals 3 and 6: %v", err)
+	}
+	if got := c.Interval(); got != 6 {
+		t.Errorf("merged interval %d, want the coarser 6", got)
+	}
+	e := NewTimeline(6, 8)
+	feedTimeline(e, 12, 1, lat)
+	f := NewTimeline(3, 8)
+	feedTimeline(f, 12, 1, lat)
+	if err := e.Merge(f); err != nil {
+		t.Fatalf("merging intervals 6 and 3: %v", err)
+	}
+}
+
+// maxSamples=1 rounds up to 2 (compaction halves pairwise); the series
+// must stay bounded and conserve its event counts through repeated
+// single-window compactions.
+func TestTimelineMaxSamplesOne(t *testing.T) {
+	tl := NewTimeline(4, 1)
+	feedTimeline(tl, 64, 1, func(int) float64 { return 5 })
+	s := tl.Snapshot()
+	if len(s.Samples) > 2 {
+		t.Errorf("maxSamples=1 series holds %d samples", len(s.Samples))
+	}
+	var injected, cycles int64
+	for _, p := range s.Samples {
+		injected += p.Injected
+		cycles += p.Cycles
+	}
+	if injected != 64 || cycles != 64 {
+		t.Errorf("compacted series covers %d cycles / %d injected, want 64/64", cycles, injected)
+	}
+	if s.Interval < 4 || s.Interval&(s.Interval-1) != 0 && s.Interval%4 != 0 {
+		t.Errorf("interval %d is not a doubling of the base 4", s.Interval)
+	}
+
+	// A single closed window merges into an empty receiver and another
+	// single-window series without tripping the compaction path.
+	one := NewTimeline(4, 1)
+	feedTimeline(one, 4, 1, func(int) float64 { return 5 })
+	if got := len(one.Snapshot().Samples); got != 1 {
+		t.Fatalf("single-window series has %d samples", got)
+	}
+	dst := NewTimeline(4, 1)
+	if err := dst.Merge(one); err != nil {
+		t.Fatal(err)
+	}
+	two := NewTimeline(4, 1)
+	feedTimeline(two, 4, 1, func(int) float64 { return 9 })
+	if err := dst.Merge(two); err != nil {
+		t.Fatal(err)
+	}
+	s = dst.Snapshot()
+	if len(s.Samples) != 1 || s.Samples[0].Injected != 8 || s.Samples[0].Cycles != 8 {
+		t.Errorf("merged single windows: %+v", s.Samples)
+	}
+	if s.Samples[0].P99Latency != 9 {
+		t.Errorf("merged P99 %g, want the max 9", s.Samples[0].P99Latency)
+	}
+}

@@ -122,6 +122,11 @@ type Network struct {
 	tline       *obs.Timeline
 	tlChanFlits []int32
 	tr          *obs.FlightRecorder
+
+	// Congestion attribution (see attrib.go): per-packet stage
+	// decomposition and blame counters, nil-checked on every event site
+	// like the probe.
+	at *attribState
 }
 
 // Build instantiates a simulable network from a logical topology. Every

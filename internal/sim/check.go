@@ -313,6 +313,15 @@ func (c *checker) deadlockDump(n *Network) string {
 	if dumped == maxRouters {
 		b.WriteString("  ... (more routers stuck)\n")
 	}
+	// The backpressure root-cause walk turns the raw stuck-VC dump into a
+	// diagnosis: which routers the credit-stall chains terminate at, and
+	// whether the chains form a cycle (wormhole deadlock) rather than a
+	// tree rooted at a congested-but-live router.
+	if rep := n.AnalyzeBackpressure(); rep.BlockedVCs > 0 {
+		for _, line := range strings.Split(rep.Render(), "\n") {
+			b.WriteString("  " + line + "\n")
+		}
+	}
 	return strings.TrimRight(b.String(), "\n")
 }
 

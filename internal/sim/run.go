@@ -151,6 +151,11 @@ func (n *Network) Run(inj Injector, offered float64) Stats {
 			n.tline.MarkTruncated()
 		}
 	}
+	if n.at != nil && n.completed < n.measuredBorn {
+		// The run is saturated (or deadlocked): capture the backpressure
+		// root-cause walk at the final cycle for the post-mortem.
+		n.at.lastBP = n.AnalyzeBackpressure()
+	}
 	st := Stats{
 		Offered:   offered,
 		Accepted:  float64(n.ejectedFlits) / float64(n.T) / float64(n.measEnd-n.measStart),
@@ -312,12 +317,18 @@ func (n *Network) routersRCVA() {
 				if vc.state == vcIdle {
 					vc.state = vcRouting
 					vc.rcLeft = n.rcOfIn[base+p]
+					if n.at != nil {
+						n.atRCStart(vc.front().pkt, r)
+					}
 				}
 				if vc.state == vcRouting {
 					vc.rcLeft--
 					if vc.rcLeft <= 0 {
 						n.computeRoute(r, vc)
 						vc.state = vcVCAlloc
+						if n.at != nil {
+							n.atRCDone(vc.front().pkt, r)
+						}
 						if n.tr != nil {
 							n.tr.Record(obs.TraceEvent{Cycle: n.now, Packet: vc.front().pkt,
 								Router: int32(r), Kind: obs.TraceRC, Arg: vc.outPort})
@@ -333,6 +344,10 @@ func (n *Network) routersRCVA() {
 							o.rrVA = int32((ov + 1) % V)
 							vc.outVC = int32(ov)
 							vc.state = vcActive
+							if n.at != nil {
+								n.atVADone(vc.front().pkt, r)
+								vc.attribHead = true
+							}
 							if n.tr != nil {
 								n.tr.Record(obs.TraceEvent{Cycle: n.now, Packet: vc.front().pkt,
 									Router: int32(r), Kind: obs.TraceVA, Arg: vc.outVC})
@@ -411,6 +426,9 @@ func (n *Network) routersSA() {
 					if n.probe != nil {
 						n.probe.Routers[r].CreditStalls++
 					}
+					if n.at != nil {
+						n.atCreditStall(vc, r, &n.outs[base+out])
+					}
 					continue
 				}
 				n.saStamp[out] = n.saClock
@@ -455,6 +473,10 @@ func (n *Network) forward(r, out, winnerVC int) {
 		n.probe.Routers[r].Flits++
 	}
 	o := &n.outs[r*n.maxP+out]
+	if n.at != nil && vc.attribHead {
+		vc.attribHead = false
+		n.atHeadForward(f.pkt, r, o)
+	}
 	if o.ch >= 0 {
 		c := &n.channels[o.ch]
 		c.ring[n.now%int64(c.lat)] = flitEv{f: f, vc: vc.outVC, valid: true}
@@ -505,6 +527,9 @@ func (n *Network) forward(r, out, winnerVC int) {
 func (n *Network) completePacket(pkt int32) {
 	pi := &n.pkts[pkt]
 	lat := float64(n.now + int64(n.cfg.PipeDelay+n.cfg.TermDelay) - pi.born)
+	if n.at != nil {
+		n.atComplete(pkt, pi, lat)
+	}
 	if pi.measured {
 		n.latencySum += lat
 		n.latHist.Observe(lat)
@@ -611,6 +636,9 @@ func (n *Network) allocPacket(t int, pp *pendingPkt) int32 {
 	}
 	if n.chk != nil {
 		n.chk.noteAlloc(pkt, n.now)
+	}
+	if n.at != nil {
+		n.atAlloc(t, pkt, pp.born)
 	}
 	return pkt
 }

@@ -133,9 +133,14 @@ type vcState struct {
 	// head of a freshly VC-allocated packet; only the tracer sets it (it
 	// packs into state's padding, so the untraced layout is unchanged).
 	traceHead bool
-	rcLeft    int32
-	outPort   int32
-	outVC     int32
+	// attribHead is the attribution layer's equivalent mark: set at VA
+	// success, cleared at head forward, it tells the credit-stall site
+	// whether the stalled flit is the head being decomposed (packs into
+	// the same padding, so the uninstrumented layout is unchanged).
+	attribHead bool
+	rcLeft     int32
+	outPort    int32
+	outVC      int32
 }
 
 func (v *vcState) empty() bool { return v.head == int32(len(v.q)) }

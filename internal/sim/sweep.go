@@ -47,10 +47,18 @@ func TraceInjectorFactory(tr *traffic.Trace) InjectorFactory {
 // serial ones.
 func PointSeed(base int64, i int) int64 { return base + int64(i) }
 
-// SweepPoint couples one load point's stats with its probe snapshot.
+// SweepPoint couples one load point's stats with its probe snapshot and
+// — with attribution enabled — the congestion diagnosis of a point that
+// failed to drain.
 type SweepPoint struct {
 	Stats Stats         `json:"stats"`
 	Probe *obs.Snapshot `json:"probe,omitempty"`
+	// Backpressure is the root-cause walk captured at the final cycle of
+	// a non-drained point; PostMortem is its human-readable rendering
+	// plus the stage breakdown. Both are empty for drained points and
+	// without SweepOptions.Attribution, so default JSON is unchanged.
+	Backpressure *obs.BackpressureReport `json:"backpressure,omitempty"`
+	PostMortem   string                  `json:"post_mortem,omitempty"`
 }
 
 // SweepOptions configures a Sweep.
@@ -91,6 +99,18 @@ type SweepOptions struct {
 	// match a full sweep; saturated points skip the drain budget and
 	// report Stats.Aborted alongside Drained=false.
 	Abort *AbortOptions
+
+	// Attribution attaches a congestion-attribution collector to every
+	// point: per-point attributions merge in ascending point order into
+	// SweepResult.Attribution (byte-identical for any worker count), and
+	// points that fail to drain carry a backpressure root-cause report
+	// and a saturation post-mortem.
+	Attribution bool
+	// LiveAttrib, when non-nil (and Attribution set), receives each
+	// completed point's attribution and each saturated point's
+	// backpressure report, for an introspection server to stream
+	// mid-sweep.
+	LiveAttrib *obs.LiveAttribution
 }
 
 // SweepResult is the outcome of a load sweep: per-point stats (and probe
@@ -106,6 +126,10 @@ type SweepResult struct {
 	// Timeline is the per-point samplers merged in point order (only with
 	// SweepOptions.TimelineInterval set).
 	Timeline *obs.TimelineSnapshot `json:"timeline,omitempty"`
+	// Attribution is the per-point attribution collectors merged in point
+	// order (only with SweepOptions.Attribution set): stage breakdown,
+	// per-router heatmap, and the most-blamed routers and channels.
+	Attribution *obs.AttributionSnapshot `json:"attribution,omitempty"`
 }
 
 // Stats projects the per-point stats out of the result.
@@ -141,6 +165,7 @@ func Sweep(build Builder, injf InjectorFactory, loads []float64, opt SweepOption
 	colls := make([]*obs.Collector, len(loads))
 	hists := make([]obs.Histogram, len(loads))
 	tls := make([]*obs.Timeline, len(loads))
+	ats := make([]*obs.Attribution, len(loads))
 	errs := make([]error, len(loads))
 
 	if opt.Progress != nil {
@@ -172,11 +197,29 @@ func Sweep(build Builder, injf InjectorFactory, loads []float64, opt SweepOption
 				opt.Live.Attach(fmt.Sprintf("%s/load=%g", opt.LiveName, loads[i]), tls[i])
 			}
 		}
+		if opt.Attribution {
+			ats[i] = n.NewAttribution()
+			if err := n.AttachAttribution(ats[i]); err != nil {
+				return err
+			}
+		}
 		st := n.Run(inj, loads[i])
 		points[i] = SweepPoint{Stats: st}
 		if opt.Probe {
 			points[i].Probe = n.Snapshot()
 			colls[i] = n.probe
+		}
+		if opt.Attribution {
+			points[i].Backpressure = n.Backpressure()
+			points[i].PostMortem = n.SaturationPostMortem(st)
+			if opt.LiveAttrib != nil {
+				if err := opt.LiveAttrib.Add(ats[i]); err != nil {
+					return err
+				}
+				if points[i].Backpressure != nil {
+					opt.LiveAttrib.Report(fmt.Sprintf("%s/load=%g", opt.LiveName, loads[i]), points[i].Backpressure)
+				}
+			}
 		}
 		hists[i] = n.LatencyHistogram()
 		if opt.Progress != nil {
@@ -260,6 +303,15 @@ func Sweep(build Builder, injf InjectorFactory, loads []float64, opt SweepOption
 			}
 		}
 		res.Timeline = aggTL.Snapshot()
+	}
+	if opt.Attribution && len(loads) > 0 {
+		aggAt := obs.NewAttribution(len(ats[0].Routers), len(ats[0].ChanBlame))
+		for i := range loads {
+			if err := aggAt.Merge(ats[i]); err != nil {
+				return nil, err
+			}
+		}
+		res.Attribution = aggAt.Snapshot(8)
 	}
 	return res, nil
 }
