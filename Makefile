@@ -10,7 +10,7 @@ GO ?= go
 # attribution; `make cover` fails below it so coverage can only go up.
 COVER_FLOOR ?= 73.5
 
-.PHONY: all build test check vet fmt race bench bench-json cover fuzz-smoke staticcheck
+.PHONY: all build test check vet fmt race bench bench-smoke bench-json cover fuzz-smoke staticcheck
 
 all: build test
 
@@ -21,8 +21,10 @@ test: build
 	$(GO) test ./...
 
 # check runs the static gates, the race detector over the concurrent
-# packages, the differential-fuzz smoke runs, and the coverage floor.
-check: vet fmt staticcheck race fuzz-smoke cover
+# packages, the differential-fuzz smoke runs, the coverage floor, and a
+# one-iteration pass over every guard benchmark so the benchmarks
+# themselves cannot rot uncompiled or crash unnoticed between re-pins.
+check: vet fmt staticcheck race fuzz-smoke cover bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -73,21 +75,28 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem -short ./...
 
+# bench-smoke runs every benchmark for exactly one iteration: no timing
+# value, just proof that each one still builds, runs and reports. Cheap
+# enough to sit inside `make check`.
+bench-smoke:
+	$(GO) test -run NONE -short -bench . -benchtime 1x ./...
+
 # bench-json snapshots the guard benchmarks (simulator inner loop with
-# the timeline/tracer/attribution on and off, and the sweep engine
-# serial/parallel
-# plus exhaustive/adaptive saturation pairs: ns/op, allocs/op,
-# cycles/op) into BENCH_sim.json so the perf trajectory is
-# machine-readable across commits. The *Off cases pin the disabled
-# observability paths at 0 allocs/op. benchjson -diff gates the fresh
-# numbers against the committed baseline — >15% ns/op regressions, any
-# allocation on a zero-alloc guard, or a silently dropped benchmark
-# fail the target before the snapshot is overwritten. To intentionally
+# the timeline/tracer/attribution on and off, the saturated/knee
+# hot-loop guards, and the sweep engine serial/parallel plus
+# exhaustive/adaptive saturation pairs: ns/op, allocs/op, cycles/op)
+# into BENCH_sim.json so the perf trajectory is machine-readable across
+# commits. The *Off cases pin the disabled observability paths at
+# 0 allocs/op. benchjson -diff gates the fresh numbers against the
+# committed baseline — >15% ns/op regressions, any allocation or
+# beyond-tolerance B/op growth on a zero-alloc guard, or a silently
+# dropped benchmark fail the target before the snapshot is overwritten
+# (a geomean ns/op delta line prints either way). To intentionally
 # re-pin after a known change: make bench-json DIFF_FLAGS=
 DIFF_FLAGS ?= -diff BENCH_sim.json
 bench-json:
 	{ $(GO) test -run NONE -short -bench 'BenchmarkSimCycle$$|BenchmarkSimTimeline|BenchmarkSimTracer|BenchmarkSweepSerial$$|BenchmarkSweepParallel$$|BenchmarkSweepExhaustive$$|BenchmarkSweepAdaptive$$' -benchmem . ; \
-	  $(GO) test -run NONE -short -bench 'BenchmarkSimSteadyState|BenchmarkSimAttribution' -benchmem ./internal/sim ; } \
+	  $(GO) test -run NONE -short -bench 'BenchmarkSimSteadyState|BenchmarkSimAttribution|BenchmarkSimCycleSaturated|BenchmarkSimCycleKnee$$' -benchmem ./internal/sim ; } \
 	| $(GO) run ./cmd/benchjson $(DIFF_FLAGS) > BENCH_sim.json.tmp
 	mv BENCH_sim.json.tmp BENCH_sim.json
 	@echo wrote BENCH_sim.json

@@ -7,10 +7,13 @@
 // With -diff FILE it additionally gates the fresh numbers against a
 // committed baseline (the previous BENCH_sim.json): any benchmark whose
 // ns/op regressed more than -diff-tolerance percent, any benchmark that
-// gained allocations on a zero-alloc baseline, and any baseline
-// benchmark missing from the fresh run fail the diff — violations go to
-// stderr and the exit status is 1, while the fresh JSON still goes to
-// stdout so the caller can inspect (or intentionally re-pin) it.
+// gained allocations or grew B/op beyond tolerance on a zero-alloc
+// baseline, and any baseline benchmark missing from the fresh run fail
+// the diff — violations go to stderr and the exit status is 1, while
+// the fresh JSON still goes to stdout so the caller can inspect (or
+// intentionally re-pin) it. A one-line geometric-mean ns/op delta over
+// the benchmarks common to both runs is printed to stderr either way,
+// so improvements are visible in CI logs, not only regressions.
 //
 // Input lines it understands (all others pass through to the Ignored
 // count):
@@ -27,6 +30,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -119,6 +123,12 @@ func parse(lines *bufio.Scanner) (*Output, error) {
 //     regression beyond noise);
 //   - allocs/op above zero where the baseline pinned zero (the
 //     steady-state 0 allocs/op contract is absolute, not percentage);
+//   - B/op growth beyond tolPct percent plus a 512-byte absolute slack
+//     on a zero-alloc baseline — on those benchmarks B/op is the
+//     amortized warmup footprint, which allocs/op (rounded to 0) cannot
+//     see, so a leak that grows bytes without tipping the alloc count
+//     would otherwise slip through (the slack absorbs iteration-count
+//     jitter on small footprints);
 //   - a baseline benchmark absent from the fresh run (a silently dropped
 //     guard is a gate bypass, not an improvement).
 //
@@ -150,9 +160,50 @@ func compare(base, fresh *Output, tolPct float64) []string {
 					fmt.Sprintf("%s: allocs/op went from 0 to %g (zero-alloc contract broken)",
 						old.Name, curAllocs))
 			}
+			oldB := old.Metrics["B/op"]
+			if curB := cur.Metrics["B/op"]; curB > oldB*(1+tolPct/100)+bopSlack {
+				violations = append(violations,
+					fmt.Sprintf("%s: B/op grew %.0f -> %.0f on a zero-alloc baseline (limit %.0f)",
+						old.Name, oldB, curB, oldB*(1+tolPct/100)+bopSlack))
+			}
 		}
 	}
 	return violations
+}
+
+// bopSlack is the absolute B/op headroom granted on top of the
+// percentage tolerance when gating zero-alloc benchmarks: their B/op is
+// warmup bytes divided by the iteration count, so short runs jitter by
+// tens to hundreds of bytes without any code change.
+const bopSlack = 512
+
+// geomeanDelta returns the geometric-mean ns/op ratio (fresh over
+// baseline) across the benchmarks present in both documents, and how
+// many benchmarks that covered. A ratio below 1 is an improvement. ok is
+// false when no benchmark overlaps.
+func geomeanDelta(base, fresh *Output) (ratio float64, count int, ok bool) {
+	byName := make(map[string]Benchmark, len(fresh.Benchmarks))
+	for _, b := range fresh.Benchmarks {
+		byName[b.Name] = b
+	}
+	logSum := 0.0
+	for _, old := range base.Benchmarks {
+		oldNs, okOld := old.Metrics["ns/op"]
+		cur, okCur := byName[old.Name]
+		if !okOld || !okCur || oldNs <= 0 {
+			continue
+		}
+		curNs := cur.Metrics["ns/op"]
+		if curNs <= 0 {
+			continue
+		}
+		logSum += math.Log(curNs / oldNs)
+		count++
+	}
+	if count == 0 {
+		return 0, 0, false
+	}
+	return math.Exp(logSum / float64(count)), count, true
 }
 
 // loadBaseline reads a previously emitted benchjson document.
@@ -191,6 +242,10 @@ func main() {
 			os.Exit(1)
 		}
 		violations = compare(base, out, *diffTol)
+		if ratio, count, ok := geomeanDelta(base, out); ok {
+			fmt.Fprintf(os.Stderr, "benchjson: geomean ns/op %+.1f%% vs %s (%d benchmarks)\n",
+				(ratio-1)*100, *diff, count)
+		}
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

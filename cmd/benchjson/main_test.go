@@ -46,6 +46,13 @@ func bench(name string, ns, allocs float64) Benchmark {
 		Metrics: map[string]float64{"ns/op": ns, "allocs/op": allocs}}
 }
 
+// benchB is bench with an explicit B/op, for the zero-alloc byte guard.
+func benchB(name string, ns, allocs, bytes float64) Benchmark {
+	b := bench(name, ns, allocs)
+	b.Metrics["B/op"] = bytes
+	return b
+}
+
 func TestCompare(t *testing.T) {
 	base := &Output{Benchmarks: []Benchmark{
 		bench("SimSteadyState", 46000, 0),
@@ -97,6 +104,69 @@ func TestCompare(t *testing.T) {
 				t.Errorf("got %d violations, want %d: %v", len(got), tc.violations, got)
 			}
 		})
+	}
+}
+
+func TestCompareBytesOnZeroAllocBaseline(t *testing.T) {
+	base := &Output{Benchmarks: []Benchmark{
+		benchB("SimCycleSaturated/clos", 32000, 0, 900),
+		benchB("SweepSerial", 235000000, 100, 4096),
+	}}
+	cases := []struct {
+		name       string
+		fresh      *Output
+		violations int
+	}{
+		// B/op on a zero-alloc benchmark is amortized warmup bytes and
+		// jitters with the iteration count; tolerance plus the absolute
+		// slack must absorb that.
+		{"jitter within slack", &Output{Benchmarks: []Benchmark{
+			benchB("SimCycleSaturated/clos", 32000, 0, 1400), // 900*1.15+512 = 1547
+			benchB("SweepSerial", 235000000, 100, 4096),
+		}}, 0},
+		{"bytes leak on zero-alloc baseline", &Output{Benchmarks: []Benchmark{
+			benchB("SimCycleSaturated/clos", 32000, 0, 6000),
+			benchB("SweepSerial", 235000000, 100, 4096),
+		}}, 1},
+		// A nonzero-alloc baseline is not byte-gated: its B/op is real
+		// steady-state allocation, already visible through allocs/op.
+		{"bytes drift on nonzero baseline", &Output{Benchmarks: []Benchmark{
+			benchB("SimCycleSaturated/clos", 32000, 0, 900),
+			benchB("SweepSerial", 235000000, 100, 90000),
+		}}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := compare(base, tc.fresh, 15)
+			if len(got) != tc.violations {
+				t.Errorf("got %d violations, want %d: %v", len(got), tc.violations, got)
+			}
+		})
+	}
+}
+
+func TestGeomeanDelta(t *testing.T) {
+	base := &Output{Benchmarks: []Benchmark{
+		bench("A", 1000, 0),
+		bench("B", 2000, 0),
+		bench("OnlyInBase", 500, 0),
+	}}
+	fresh := &Output{Benchmarks: []Benchmark{
+		bench("A", 500, 0),  // 0.5x
+		bench("B", 4000, 0), // 2x
+		bench("OnlyInFresh", 123, 0),
+	}}
+	ratio, count, ok := geomeanDelta(base, fresh)
+	if !ok || count != 2 {
+		t.Fatalf("ok=%v count=%d, want ok over 2 common benchmarks", ok, count)
+	}
+	// geomean(0.5, 2) = 1: the improvement and the regression cancel.
+	if ratio < 0.999 || ratio > 1.001 {
+		t.Errorf("ratio = %v, want 1", ratio)
+	}
+
+	if _, _, ok := geomeanDelta(base, &Output{}); ok {
+		t.Error("geomean over zero common benchmarks should report !ok")
 	}
 }
 

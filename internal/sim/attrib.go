@@ -148,14 +148,17 @@ func (n *Network) atVADone(pkt int32, r int) {
 // freshly allocated head being decomposed — charges the cycle to the
 // packet's credit-stall component. The SA loop visits a stalled VC at
 // most once per cycle, so per-packet credit stall never exceeds the
-// elapsed hop time.
-func (n *Network) atCreditStall(vc *vcState, r int, o *outState) {
+// elapsed hop time. gv is the stalled input VC, out the global index of
+// its requested output port (always channel-backed: terminal sinks never
+// run out of credits).
+func (n *Network) atCreditStall(gv int32, r, out int) {
 	at := n.at
+	ch := n.outCh[out]
 	at.a.Routers[r].CreditStall++
-	at.a.Routers[n.channels[o.ch].dstRouter].Blamed++
-	at.a.ChanBlame[o.ch]++
-	if vc.attribHead {
-		at.pkts[vc.front().pkt].credHop++
+	at.a.Routers[n.channels[ch].dstRouter].Blamed++
+	at.a.ChanBlame[ch]++
+	if n.vcAttribHead[gv] {
+		at.pkts[n.frontVC(gv).pkt].credHop++
 	}
 }
 
@@ -164,7 +167,7 @@ func (n *Network) atCreditStall(vc *vcState, r int, o *outState) {
 // credit component and the remainder to SA contention; the outgoing
 // channel's flight time becomes the next hop's pending wire (zero at the
 // terminal sink — the egress pipeline is charged at completion).
-func (n *Network) atHeadForward(pkt int32, r int, o *outState) {
+func (n *Network) atHeadForward(pkt int32, r, out int) {
 	p := &n.at.pkts[pkt]
 	d := n.now - p.lastTs
 	sa := d - p.credHop
@@ -172,8 +175,8 @@ func (n *Network) atHeadForward(pkt int32, r int, o *outState) {
 	p.sa += sa
 	p.credHop = 0
 	p.lastTs = n.now
-	if o.ch >= 0 {
-		p.pendWire = int64(n.channels[o.ch].lat)
+	if ch := n.outCh[out]; ch >= 0 {
+		p.pendWire = int64(n.channels[ch].lat)
 	} else {
 		p.pendWire = 0
 	}
@@ -242,17 +245,17 @@ func (n *Network) AnalyzeBackpressure() *obs.BackpressureReport {
 		base := r * n.maxP
 		for p := 0; p < int(n.numPorts[r]); p++ {
 			for v := 0; v < n.V; v++ {
-				vc := &n.vcs[(base+p)*n.V+v]
-				if vc.state != vcActive || vc.empty() {
+				gv := int32((base+p)*n.V + v)
+				if n.vcStatus[gv] != vcActive || n.vcHL[gv]&0xffff == 0 {
 					continue
 				}
-				o := &n.outs[base+int(vc.outPort)]
-				if o.ch < 0 || o.credits > 0 {
+				o := base + int(n.vcOutPort[gv])
+				if n.outCh[o] < 0 || n.outCredits[o] > 0 {
 					continue
 				}
 				rep.BlockedVCs++
 				blockedVCs[r]++
-				d := n.channels[o.ch].dstRouter
+				d := n.channels[n.outCh[o]].dstRouter
 				dup := false
 				for _, e := range waitsOn[r] {
 					if e == d {

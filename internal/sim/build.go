@@ -32,20 +32,81 @@ type pendingPkt struct {
 // topology: one router per sub-switch chiplet, one channel pair per lane,
 // one terminal per external port.
 type Network struct {
-	cfg  Config
-	R    int // routers
-	V    int // VCs per input port
-	maxP int // ports per router (padded)
-	T    int // terminals
+	cfg   Config
+	R     int   // routers
+	V     int   // VCs per input port
+	maxP  int   // ports per router (padded)
+	T     int   // terminals
+	bufPP int32 // cfg.BufPerPort, hot-path copy (per-VC ring window)
 
 	numPorts []int32
 	rcOfIn   []int32 // per input port: RC delay (ingress vs non-ingress)
-	saVCRR   []int32 // per input port: rotating VC priority
+	// Switch allocation rotates its input priority by the cycle number
+	// modulo the router's port count. npVals holds the distinct port
+	// counts, npIdx maps each router to its entry, and npRot caches
+	// now % count — refreshed once per cycle so busy routers look the
+	// rotation up instead of dividing.
+	npVals []int32
+	npIdx  []int32
+	npRot  []int32
 
-	vcs    []vcState // (r*maxP+p)*V + v
-	inOcc  []int32   // r*maxP + p: flits buffered at input port
-	feedCh []int32   // channel feeding input port, -1 if terminal/unused
-	outs   []outState
+	// Per-input-VC pipeline state, structure-of-arrays: every array is
+	// indexed by the global VC index gv = (r*maxP+p)*V + v. Each VC's
+	// flit queue is a ring of BufPerPort packed-flit slots (see packFlit)
+	// inside the shared slab (window gv*BufPerPort), tracked by vcHL —
+	// the ring position of the head flit in the high 16 bits and the
+	// queue length in the low 16, one word so a push or pop touches a
+	// single cache line of queue state (BufPerPort is validated to fit).
+	// Credit-based flow control bounds a port's buffered flits by
+	// BufPerPort, so no ring can overflow its window and the
+	// steady-state loop never allocates queue memory.
+	slab      []uint32
+	vcHL      []uint32
+	vcStatus  []uint8
+	vcRCLeft  []int32
+	vcOutPort []int32
+	vcOutVC   []int32
+	// vcTraceHead marks that the next flit forwarded from a VC is the
+	// head of a freshly VC-allocated packet; only the tracer sets it.
+	// vcAttribHead is the attribution layer's equivalent mark: set at VA
+	// success, cleared at head forward, it tells the credit-stall site
+	// whether the stalled flit is the head being decomposed.
+	vcTraceHead  []bool
+	vcAttribHead []bool
+
+	// Per-input-port VC scan state (one record at r*maxP+p, see
+	// portState): busy is the non-empty VCs, pipe the non-empty VCs not
+	// yet in vcActive (owed RC or VA work), rr the switch allocator's
+	// rotating VC priority. The RC/VA loop scans pipe, switch allocation
+	// scans busy &^ pipe (non-empty and active) — set bits instead of a
+	// dense V-iteration with per-VC state tests. Both masks are
+	// maintained at the three transition points: queue empty<->non-empty
+	// (push/pop), VA success, and tail forward.
+	inState []portState
+	// portPipeM[r] summarizes the pipe masks at router level: bit p set
+	// when input port p of router r has a non-empty pipe mask. RC/VA
+	// scans set bits instead of loading every port's mask (ports >= 64
+	// shift out to nothing; wide routers scan every port regardless).
+	portPipeM []uint64
+
+	feedCh []int32 // channel feeding input port, -1 if terminal/unused
+
+	// Per-output-port state, structure-of-arrays indexed r*maxP+p:
+	// downstream shared-buffer credits, the outgoing channel (-1 for the
+	// terminal sink), the VA round-robin pointer, and the free-output-VC
+	// mask (bit ov set = output VC ov unowned; VA claims the first set
+	// bit at or after outRRVA, tail forward returns the bit).
+	outCredits []int32
+	outCh      []int32
+	outRRVA    []int32
+	// creditM[r] mirrors outCredits at router level for ports < 64: bit
+	// o set when output o has credits. Switch allocation starts its
+	// grantable-output mask from this word instead of re-testing every
+	// port's credit count; maintained at the two credit transitions
+	// (decrement to zero on forward, increment from zero on credit
+	// return). Wide routers (> 64 ports) test outCredits directly.
+	creditM   []uint64
+	outFreeVC []uint64
 
 	// routerOcc[r] is the total buffered flits across r's input ports.
 	// The pipeline loops skip routers at zero — at low and mid load most
@@ -55,19 +116,44 @@ type Network struct {
 
 	channels []channel
 
-	// Active-channel worklist: arrivals visits only channels with
-	// undelivered flit or credit events instead of scanning every ring
-	// every cycle. chanEvents counts pending events per channel; channels
-	// with events sit on chanActive (order irrelevant — see arrivals);
-	// chanInList dedupes membership.
-	chanEvents []int32
-	chanActive []int32
-	chanInList []bool
+	// Channel event storage, slot-major per latency class: channels are
+	// grouped by latency (latVals names the classes), and class k's rings
+	// live in ringSlab[classOff[k] : classOff[k]+lat_k*classCnt[k]] laid
+	// out slot by slot — slot s of every channel in the class is the
+	// contiguous stripe classOff[k] + s*classCnt[k] + chanPos[ci]. All
+	// channels of a class mature the same slot each cycle (s = now %
+	// lat), so arrivals scans one dense stripe per class — a linear walk
+	// of exactly the words that can hold deliverable events — and the
+	// per-event worklist bookkeeping the old layout needed disappears.
+	// classSlotBase[k] (= classOff[k] + (now%lat_k)*classCnt[k]) is
+	// refreshed once per cycle; producers index the current stripe
+	// through it. classHot[k] mirrors the stripe order with the
+	// per-channel fields a delivery touches (one sequential 12-byte
+	// record per slot scanned), and feedLP/outLP/termLP give each
+	// producer site its channel's packed (stripe position << 31 |
+	// latency class) so a ring write computes its slot from one loaded
+	// word. chanLatIdx/chanPos keep the per-channel-index view for the
+	// cold checker scans.
+	ringSlab      []uint64
+	latVals       []int32
+	classOff      []int32
+	classCnt      []int32
+	classSlotBase []int32
+	classHot      [][]chanHot
+	chanLatIdx    []int32
+	chanPos       []int32
+	feedLP        []int64 // input port -> feeding channel's packed slot, -1 if none
+	outLP         []int64 // output port -> outgoing channel's packed slot, -1 for sinks
+	termLP        []int64 // terminal -> injection channel's packed slot
 
 	termChIn []int32 // terminal -> its injection channel
 
 	destRouter []int32 // terminal -> hosting router
 	nextPorts  [][][]int32
+	// nextFlat is computeRoute's flattened view of nextPorts
+	// (nextFlat[r*R+d] == nextPorts[r][d]): one indexed load instead of
+	// two dependent slice-header chases per route computation.
+	nextFlat   [][]int32
 	egressPort []int32 // terminal -> output port on hosting router
 
 	// Terminal source state.
@@ -76,17 +162,23 @@ type Network struct {
 	srcSent   []int32 // flits of the current packet already injected
 	srcCredit []int32
 	curPkt    []int32 // packet-table index of the packet being injected
+	curVC     []int32 // injection VC of the current packet (pkt % V)
 
-	// Packet table with freelist.
+	// Packet table with freelist. pktRoute mirrors pkts: the packet's
+	// destination router (low 16 bits) and egress port (high bits),
+	// packed at allocation so route computation reads one dense word
+	// instead of the 20-byte packetInfo plus two terminal arrays.
 	pkts     []packetInfo
+	pktRoute []int32
 	freePkts []int32
 
 	rng *rand.Rand
 
 	// Scratch for switch allocation, reused across routers.
-	saWinner []int32 // per output port: winning input-VC global index
-	saStamp  []int64
-	saClock  int64
+	saWinner   []int32 // per output port: winning input-VC global index
+	saWinnerIn []int32 // per output port: the winner's input port
+	saStamp    []int64
+	saClock    int64
 
 	now int64
 
@@ -168,24 +260,37 @@ func Build(t *topo.Topology, lat LinkLatency, cfg Config) (*Network, error) {
 	}
 	T := t.ExternalPorts()
 
+	nVC := R * maxP * cfg.NumVCs
 	n := &Network{
-		cfg:       cfg,
-		R:         R,
-		V:         cfg.NumVCs,
-		maxP:      maxP,
-		T:         T,
-		numPorts:  numPorts,
-		rcOfIn:    make([]int32, R*maxP),
-		saVCRR:    make([]int32, R*maxP),
-		vcs:       make([]vcState, R*maxP*cfg.NumVCs),
-		inOcc:     make([]int32, R*maxP),
-		routerOcc: make([]int32, R),
-		feedCh:    make([]int32, R*maxP),
-		outs:      make([]outState, R*maxP),
-		saWinner:  make([]int32, maxP),
-		saStamp:   make([]int64, maxP),
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
-		logger:    cfg.Logger,
+		cfg:          cfg,
+		R:            R,
+		V:            cfg.NumVCs,
+		maxP:         maxP,
+		T:            T,
+		bufPP:        int32(cfg.BufPerPort),
+		numPorts:     numPorts,
+		rcOfIn:       make([]int32, R*maxP),
+		slab:         make([]uint32, nVC*cfg.BufPerPort),
+		vcHL:         make([]uint32, nVC),
+		vcStatus:     make([]uint8, nVC),
+		vcRCLeft:     make([]int32, nVC),
+		vcOutPort:    make([]int32, nVC),
+		vcOutVC:      make([]int32, nVC),
+		vcTraceHead:  make([]bool, nVC),
+		vcAttribHead: make([]bool, nVC),
+		inState:      make([]portState, R*maxP),
+		portPipeM:    make([]uint64, R),
+		routerOcc:    make([]int32, R),
+		feedCh:       make([]int32, R*maxP),
+		outCredits:   make([]int32, R*maxP),
+		outCh:        make([]int32, R*maxP),
+		outRRVA:      make([]int32, R*maxP),
+		outFreeVC:    make([]uint64, R*maxP),
+		saWinner:     make([]int32, maxP),
+		saWinnerIn:   make([]int32, maxP),
+		saStamp:      make([]int64, maxP),
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		logger:       cfg.Logger,
 	}
 	for i := range n.feedCh {
 		n.feedCh[i] = -1
@@ -193,8 +298,8 @@ func Build(t *topo.Topology, lat LinkLatency, cfg Config) (*Network, error) {
 	for i := range n.rcOfIn {
 		n.rcOfIn[i] = atLeast1(cfg.RCOther)
 	}
-	for i := range n.outs {
-		n.outs[i] = outState{credits: 0, ch: -1}
+	for i := range n.outCh {
+		n.outCh[i] = -1
 	}
 
 	// Inter-router channels (both directions per lane).
@@ -202,23 +307,33 @@ func Build(t *topo.Topology, lat LinkLatency, cfg Config) (*Network, error) {
 		if latency < 1 {
 			latency = 1
 		}
+		li := int32(-1)
+		for i, lv := range n.latVals {
+			if lv == int32(latency) {
+				li = int32(i)
+				break
+			}
+		}
+		if li < 0 {
+			li = int32(len(n.latVals))
+			n.latVals = append(n.latVals, int32(latency))
+		}
 		ci := int32(len(n.channels))
 		n.channels = append(n.channels, channel{
 			lat:       int32(latency),
+			latIdx:    li,
 			srcRouter: int32(srcR), srcPort: int32(srcP),
 			srcTerm:   int32(srcTerm),
 			dstRouter: int32(dstR), dstPort: int32(dstP),
-			ring:     make([]flitEv, latency),
-			credRing: make([]int32, latency),
 		})
 		if dstR >= 0 {
 			n.feedCh[dstR*maxP+dstP] = ci
 		}
 		if srcR >= 0 {
-			o := &n.outs[srcR*maxP+srcP]
-			o.ch = ci
-			o.credits = int32(cfg.BufPerPort)
-			o.vcOwner = newOwner(cfg.NumVCs)
+			out := srcR*maxP + srcP
+			n.outCh[out] = ci
+			n.outCredits[out] = int32(cfg.BufPerPort)
+			n.outFreeVC[out] = fullVCMask(cfg.NumVCs)
 		}
 		return ci
 	}
@@ -236,6 +351,7 @@ func Build(t *topo.Topology, lat LinkLatency, cfg Config) (*Network, error) {
 	n.srcSent = make([]int32, T)
 	n.srcCredit = make([]int32, T)
 	n.curPkt = make([]int32, T)
+	n.curVC = make([]int32, T)
 	term := 0
 	for r, node := range t.Nodes {
 		for p := 0; p < node.ExternalPorts; p++ {
@@ -249,36 +365,107 @@ func Build(t *topo.Topology, lat LinkLatency, cfg Config) (*Network, error) {
 			n.rcOfIn[r*maxP+p] = atLeast1(cfg.RCIngress)
 			// Terminal sink: the router's output port p ejects to the
 			// host; model it as an infinite-credit sink.
-			o := &n.outs[r*maxP+p]
-			o.ch = -1
-			o.credits = 1 << 30
-			o.vcOwner = newOwner(cfg.NumVCs)
+			out := r*maxP + p
+			n.outCh[out] = -1
+			n.outCredits[out] = 1 << 30
+			n.outFreeVC[out] = fullVCMask(cfg.NumVCs)
 			n.srcCredit[term] = int32(cfg.BufPerPort)
 			term++
 		}
 	}
 
-	// Worklist storage. chanActive can never exceed the channel count
-	// (chanInList dedupes), so reserving full capacity keeps wakeChan
-	// allocation-free forever.
-	n.chanEvents = make([]int32, len(n.channels))
-	n.chanActive = make([]int32, 0, len(n.channels))
-	n.chanInList = make([]bool, len(n.channels))
+	// Slab pass: group channels by latency class and lay each class's
+	// rings out slot-major in the shared slab (see the field docs on
+	// Network), publishing the hot per-channel fields as flat arrays.
+	nc := len(n.channels)
+	nClass := len(n.latVals)
+	n.classCnt = make([]int32, nClass)
+	for i := range n.channels {
+		n.classCnt[n.channels[i].latIdx]++
+	}
+	n.classOff = make([]int32, nClass)
+	n.classSlotBase = make([]int32, nClass)
+	n.classHot = make([][]chanHot, nClass)
+	total := int32(0)
+	for k, lv := range n.latVals {
+		n.classOff[k] = total
+		total += lv * n.classCnt[k]
+		n.classHot[k] = make([]chanHot, 0, n.classCnt[k])
+	}
+	n.ringSlab = make([]uint64, total)
+	n.chanLatIdx = make([]int32, nc)
+	n.chanPos = make([]int32, nc)
+	for i := range n.channels {
+		c := &n.channels[i]
+		k := c.latIdx
+		n.chanPos[i] = int32(len(n.classHot[k]))
+		n.chanLatIdx[i] = k
+		srcR, srcP := c.srcRouter, c.srcPort
+		if c.srcTerm >= 0 {
+			srcR = -(c.srcTerm + 1)
+		}
+		n.classHot[k] = append(n.classHot[k], chanHot{
+			dstR: c.dstRouter, dstP: c.dstPort,
+			srcR: srcR, srcP: srcP,
+		})
+	}
+	lpOf := func(ci int32) int64 {
+		return int64(n.chanPos[ci])<<31 | int64(n.chanLatIdx[ci])
+	}
+	n.feedLP = make([]int64, R*maxP)
+	n.outLP = make([]int64, R*maxP)
+	for i := range n.feedLP {
+		n.feedLP[i], n.outLP[i] = -1, -1
+		if ci := n.feedCh[i]; ci >= 0 {
+			n.feedLP[i] = lpOf(ci)
+		}
+		if ci := n.outCh[i]; ci >= 0 {
+			n.outLP[i] = lpOf(ci)
+		}
+	}
+	n.termLP = make([]int64, len(n.termChIn))
+	for t, ci := range n.termChIn {
+		n.termLP[t] = lpOf(ci)
+	}
 
-	// One contiguous flit arena backs every VC queue. Credit-based flow
-	// control bounds a port's buffered flits by BufPerPort, so no single
-	// VC queue can outgrow a BufPerPort window: each VC gets a
-	// zero-length, full-capacity slice of the arena and the steady-state
-	// loop never grows a queue. The whole buffer pool is one allocation
-	// instead of one per VC.
-	slab := make([]flit, len(n.vcs)*cfg.BufPerPort)
-	for i := range n.vcs {
-		off := i * cfg.BufPerPort
-		n.vcs[i].q = slab[off : off : off+cfg.BufPerPort]
+	// Distinct port counts for the once-per-cycle SA rotation refresh.
+	// Portless routers (nothing to allocate, never visited) share entry 0.
+	n.npIdx = make([]int32, R)
+	for r := 0; r < R; r++ {
+		np := n.numPorts[r]
+		if np == 0 {
+			continue
+		}
+		j := int32(-1)
+		for i, v := range n.npVals {
+			if v == np {
+				j = int32(i)
+				break
+			}
+		}
+		if j < 0 {
+			j = int32(len(n.npVals))
+			n.npVals = append(n.npVals, np)
+		}
+		n.npIdx[r] = j
+	}
+	n.npRot = make([]int32, len(n.npVals))
+
+	n.creditM = make([]uint64, R)
+	for r := 0; r < R; r++ {
+		for o := 0; o < maxP && o < 64; o++ {
+			if n.outCredits[r*maxP+o] > 0 {
+				n.creditM[r] |= uint64(1) << o
+			}
+		}
 	}
 
 	if err := n.buildRoutes(t); err != nil {
 		return nil, err
+	}
+	n.nextFlat = make([][]int32, R*R)
+	for r := 0; r < R; r++ {
+		copy(n.nextFlat[r*R:(r+1)*R], n.nextPorts[r])
 	}
 	return n, nil
 }
@@ -296,13 +483,9 @@ func (n *Network) Reseed(seed int64) {
 	n.rng = rand.New(rand.NewSource(seed))
 }
 
-func newOwner(v int) []int32 {
-	o := make([]int32, v)
-	for i := range o {
-		o[i] = -1
-	}
-	return o
-}
+// fullVCMask returns the mask with the low v bits set (v = 64 yields
+// all ones: 1<<64 is 0 on uint64, and 0-1 wraps).
+func fullVCMask(v int) uint64 { return uint64(1)<<v - 1 }
 
 // buildRoutes computes, for every (router, destination router) pair, the
 // set of output ports toward the destination: dimension-order next hops

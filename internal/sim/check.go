@@ -202,19 +202,27 @@ func (c *checker) checkCredits(n *Network) {
 	for ci := range n.channels {
 		ch := &n.channels[ci]
 		var onRing, credInFlight int64
-		for si := range ch.ring {
-			if ch.ring[si].valid {
+		k := ch.latIdx
+		for s := int32(0); s < ch.lat; s++ {
+			w := n.ringSlab[n.classOff[k]+s*n.classCnt[k]+n.chanPos[ci]]
+			if w&evValid != 0 {
 				onRing++
 			}
-			credInFlight += int64(ch.credRing[si])
+			if w&evCred != 0 {
+				credInFlight++
+			}
 		}
 		var upstream int64
 		if ch.srcTerm >= 0 {
 			upstream = int64(n.srcCredit[ch.srcTerm])
 		} else {
-			upstream = int64(n.outs[int(ch.srcRouter)*n.maxP+int(ch.srcPort)].credits)
+			upstream = int64(n.outCredits[int(ch.srcRouter)*n.maxP+int(ch.srcPort)])
 		}
-		buffered := int64(n.inOcc[int(ch.dstRouter)*n.maxP+int(ch.dstPort)])
+		in := int32(ch.dstRouter)*int32(n.maxP) + int32(ch.dstPort)
+		var buffered int64
+		for v := int32(0); v < int32(n.V); v++ {
+			buffered += int64(n.vcHL[in*int32(n.V)+v] & 0xffff)
+		}
 		if got := upstream + onRing + buffered + credInFlight; got != depth {
 			c.violatef("cycle %d: credit conservation broken on channel %d (->r%d.p%d): credits %d + ring %d + buffered %d + cred-in-flight %d = %d, want %d",
 				n.now, ci, ch.dstRouter, ch.dstPort, upstream, onRing, buffered, credInFlight, got, depth)
@@ -228,11 +236,20 @@ func (c *checker) checkCredits(n *Network) {
 // up to the tail belongs to the same packet (per-VC in-order delivery is
 // then FIFO order by construction).
 func (c *checker) checkVCIntegrity(n *Network) {
-	for vi := range n.vcs {
-		vc := &n.vcs[vi]
+	buf := int32(n.cfg.BufPerPort)
+	for vi := range n.vcHL {
+		ln := int32(n.vcHL[vi] & 0xffff)
+		if ln == 0 {
+			continue
+		}
+		ring := n.slab[int32(vi)*buf : (int32(vi)+1)*buf]
+		pos := int32(n.vcHL[vi] >> 16)
 		inPkt := int32(-1)
-		for i := vc.head; i < int32(len(vc.q)); i++ {
-			f := vc.q[i]
+		for i := int32(0); i < ln; i++ {
+			f := unpackFlit(ring[pos])
+			if pos++; pos == buf {
+				pos = 0
+			}
 			if inPkt >= 0 && f.pkt != inPkt {
 				c.violatef("cycle %d: VC %d interleaves packets %d and %d", n.now, vi, inPkt, f.pkt)
 				return
@@ -289,16 +306,18 @@ func (c *checker) deadlockDump(n *Network) string {
 		base := r * n.maxP
 		for p := 0; p < int(n.numPorts[r]); p++ {
 			for v := 0; v < n.V; v++ {
-				vc := &n.vcs[(base+p)*n.V+v]
-				if vc.empty() {
+				gv := int32((base+p)*n.V + v)
+				if n.vcHL[gv]&0xffff == 0 {
 					continue
 				}
+				st := n.vcStatus[gv]
 				line := fmt.Sprintf("    port %d vc %d: %d flits, state %s",
-					p, v, int32(len(vc.q))-vc.head, stateName[vc.state])
-				if vc.state == vcActive || vc.state == vcVCAlloc {
-					line += fmt.Sprintf(", out port %d", vc.outPort)
-					if vc.state == vcActive {
-						line += fmt.Sprintf(" vc %d (credits %d)", vc.outVC, n.outs[base+int(vc.outPort)].credits)
+					p, v, n.vcHL[gv]&0xffff, stateName[st])
+				if st == vcActive || st == vcVCAlloc {
+					line += fmt.Sprintf(", out port %d", n.vcOutPort[gv])
+					if st == vcActive {
+						line += fmt.Sprintf(" vc %d (credits %d)",
+							n.vcOutVC[gv], n.outCredits[base+int(n.vcOutPort[gv])])
 					}
 				}
 				b.WriteString(line + "\n")

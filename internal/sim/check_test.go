@@ -102,8 +102,9 @@ func TestCheckerDetectsFlitLeak(t *testing.T) {
 	// believes it is idle), which is exactly the kind of counter drift
 	// the conservation scan exists to catch.
 	n.pkts = append(n.pkts, packetInfo{dst: 0})
-	n.vcs[0].push(flit{pkt: 0, last: true})
-	n.inOcc[0]++
+	if n.pushVC(0, flit{pkt: 0, last: true}) == 0 {
+		n.markBusy(0, 0, 0, 0)
+	}
 	n.Run(silentInjector{}, 0.01)
 	err = n.CheckErr()
 	if err == nil {
@@ -129,9 +130,9 @@ func TestCheckerDetectsCreditLoss(t *testing.T) {
 		t.Fatal(err)
 	}
 	stolen := false
-	for i := range n.outs {
-		if n.outs[i].ch >= 0 {
-			n.outs[i].credits--
+	for i := range n.outCh {
+		if n.outCh[i] >= 0 {
+			n.outCredits[i]--
 			stolen = true
 			break
 		}
@@ -167,8 +168,12 @@ func TestCheckerDetectsVCInterleave(t *testing.T) {
 	// are left untouched so the pipeline ignores the queue and only the
 	// integrity scan (which walks every VC unconditionally) sees it.
 	n.pkts = append(n.pkts, packetInfo{}, packetInfo{})
-	n.vcs[0].push(flit{pkt: 0, last: false})
-	n.vcs[0].push(flit{pkt: 1, last: false})
+	if n.pushVC(0, flit{pkt: 0, last: false}) == 0 {
+		n.markBusy(0, 0, 0, 0)
+	}
+	if n.pushVC(0, flit{pkt: 1, last: false}) == 0 {
+		n.markBusy(0, 0, 0, 0)
+	}
 	n.Run(silentInjector{}, 0.01)
 	err = n.CheckErr()
 	if err == nil {
@@ -199,8 +204,8 @@ func TestCheckerWatchdog(t *testing.T) {
 	// output whose credits were zeroed. SA stalls on it forever.
 	var out int
 	found := false
-	for i := range n.outs {
-		if n.outs[i].ch >= 0 && i/n.maxP == 0 {
+	for i := range n.outCh {
+		if n.outCh[i] >= 0 && i/n.maxP == 0 {
 			out = i
 			found = true
 			break
@@ -209,15 +214,19 @@ func TestCheckerWatchdog(t *testing.T) {
 	if !found {
 		t.Fatal("no inter-router output on router 0")
 	}
-	n.outs[out].credits = 0
+	n.outCredits[out] = 0
+	n.creditM[out/n.maxP] &^= uint64(1) << uint32(out%n.maxP)
 	n.pkts = append(n.pkts, packetInfo{dst: 0})
-	vc := &n.vcs[0]
-	vc.push(flit{pkt: 0, last: true})
-	vc.state = vcActive
-	vc.outPort = int32(out % n.maxP)
-	vc.outVC = 0
-	n.outs[out].vcOwner[0] = 0
-	n.inOcc[0]++
+	// Setting vcActive before the push keeps the VC out of the RC/VA scan
+	// mask (pushVC only queues pipeline work for non-active VCs), exactly
+	// the mid-packet state a real stuck tail would be in.
+	n.vcStatus[0] = vcActive
+	if n.pushVC(0, flit{pkt: 0, last: true}) == 0 {
+		n.markBusy(0, 0, 0, 0)
+	}
+	n.vcOutPort[0] = int32(out % n.maxP)
+	n.vcOutVC[0] = 0
+	n.outFreeVC[out] &^= 1
 	n.routerOcc[0]++
 	n.Run(silentInjector{}, 0.01)
 	err = n.CheckErr()

@@ -78,14 +78,12 @@ func (n *Network) LatencyHistogram() obs.Histogram { return n.latHist }
 // boundary.
 func (n *Network) BufferedFlits() int64 {
 	var total int64
-	for i := range n.inOcc {
-		total += int64(n.inOcc[i])
+	for _, hl := range n.vcHL {
+		total += int64(hl & 0xffff)
 	}
-	for ci := range n.channels {
-		for si := range n.channels[ci].ring {
-			if n.channels[ci].ring[si].valid {
-				total++
-			}
+	for _, ev := range n.ringSlab {
+		if ev&evValid != 0 {
+			total++
 		}
 	}
 	return total

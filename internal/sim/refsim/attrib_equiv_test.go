@@ -58,7 +58,7 @@ func TestAttributionTransparent(t *testing.T) {
 		Warmup: 50, Measure: 150, Seed: 42,
 	}
 	families := []string{"clos", "mesh", "fbfly", "dfly"}
-	loads := []float64{0.05, 0.25, 0.6}
+	loads := []float64{0.05, 0.25, 0.6, 0.95}
 	for _, fam := range families {
 		for _, load := range loads {
 			s := base

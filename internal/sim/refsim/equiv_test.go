@@ -69,6 +69,66 @@ func TestSimEquivalencePatterns(t *testing.T) {
 	}
 }
 
+// TestSimEquivalenceHighLoad drives the differential oracle through the
+// regimes the packed-state fast paths are built for: VC depth from a
+// single VC to the full 8 tracked per mask word, buffers at the
+// single-packet minimum (Buf == Pkt) and comfortably deep, and offered
+// loads at trickle (0.05), the throughput knee (~0.45) and well past
+// saturation (0.95), where the arbitration masks stay dense and every
+// credit-gated path is exercised. Bit-identical Stats, histograms and
+// delivery multisets are required at every point.
+func TestSimEquivalenceHighLoad(t *testing.T) {
+	specs := []Spec{
+		{Family: "clos", Size: 0, Pattern: "uniform", LinkLat: 1, VCs: 1, Buf: 4, Pkt: 4, RCI: 1, RCO: 1, Pipe: 1, Term: 1, Warmup: 50, Measure: 150, Seed: 11, Load: 0.95},
+		{Family: "clos", Size: 1, Pattern: "tornado", LinkLat: 2, VCs: 8, Buf: 16, Pkt: 2, RCI: 2, RCO: 1, Pipe: 1, Term: 2, Warmup: 40, Measure: 120, Seed: 12, Load: 0.95},
+		{Family: "mesh", Size: 1, Pattern: "neighbor", LinkLat: 1, VCs: 4, Buf: 6, Pkt: 3, RCI: 1, RCO: 1, Pipe: 2, Term: 1, Warmup: 50, Measure: 150, Seed: 13, Load: 0.45},
+		{Family: "mesh", Size: 0, Pattern: "uniform", LinkLat: 2, VCs: 8, Buf: 2, Pkt: 2, RCI: 1, RCO: 2, Pipe: 0, Term: 0, Warmup: 30, Measure: 100, Seed: 14, Load: 0.95},
+		{Family: "fbfly", Size: 1, Pattern: "uniform", LinkLat: 1, VCs: 4, Buf: 12, Pkt: 2, RCI: 2, RCO: 1, Pipe: 1, Term: 1, Warmup: 40, Measure: 120, Seed: 15, Load: 0.45},
+		{Family: "fbfly", Size: 0, Pattern: "asymmetric", LinkLat: 2, VCs: 1, Buf: 3, Pkt: 3, RCI: 1, RCO: 1, Pipe: 1, Term: 2, Warmup: 40, Measure: 120, Seed: 16, Load: 0.95},
+		{Family: "dfly", Size: 0, Pattern: "uniform", LinkLat: 1, VCs: 8, Buf: 8, Pkt: 1, RCI: 1, RCO: 1, Pipe: 1, Term: 1, Warmup: 40, Measure: 120, Seed: 17, Load: 0.05},
+		{Family: "dfly", Size: 1, Pattern: "tornado", LinkLat: 2, VCs: 4, Buf: 4, Pkt: 4, RCI: 2, RCO: 2, Pipe: 2, Term: 1, Warmup: 40, Measure: 100, Seed: 18, Load: 0.95},
+	}
+	for _, s := range specs {
+		s := s
+		t.Run(fmt.Sprintf("%s/vcs=%d/buf=%d/load=%g", s.Family, s.VCs, s.Buf, s.Load), func(t *testing.T) {
+			rep, err := s.Diff()
+			if err != nil {
+				t.Fatalf("diff %s: %v", s, err)
+			}
+			if !rep.OK() {
+				t.Fatalf("simulators diverge:\n%s", rep.Summary())
+			}
+		})
+	}
+}
+
+// TestSimEquivalenceSaturation10k holds a saturated network under
+// offered load 0.95 for a 10k-cycle measurement window — two orders of
+// magnitude longer than the fuzz cases — so slow state corruption in
+// the packed queue and mask words (a head that creeps, a stale mask
+// bit) has time to compound into a visible divergence instead of
+// hiding inside a short window. The drain budget is deliberately small:
+// the run must end saturated (not drained) identically in both
+// simulators, covering the abort path of the measurement loop too.
+func TestSimEquivalenceSaturation10k(t *testing.T) {
+	s := Spec{Family: "clos", Size: 0, Pattern: "uniform", LinkLat: 2,
+		VCs: 4, Buf: 8, Pkt: 2, RCI: 2, RCO: 1, Pipe: 1, Term: 2,
+		Warmup: 200, Measure: 10000, Drain: 500, Seed: 4242, Load: 0.95}
+	rep, err := s.Diff()
+	if err != nil {
+		t.Fatalf("diff %s: %v", s, err)
+	}
+	if !rep.OK() {
+		t.Fatalf("simulators diverge:\n%s", rep.Summary())
+	}
+	if rep.Opt.Drained {
+		t.Fatalf("spec %s drained; saturation test is vacuous (stats %+v)", s, rep.Opt)
+	}
+	if rep.Opt.Completed == 0 {
+		t.Fatalf("spec %s completed no packets; test is vacuous", s)
+	}
+}
+
 // TestSpecRoundTrip pins the replay contract: String o ParseSpec is the
 // identity, so a tuple printed by a failing fuzz run reproduces the
 // exact same case under wsswitch -replay.

@@ -22,6 +22,14 @@ func FuzzSimEquivalence(f *testing.F) {
 	f.Add(uint8(1), uint8(1), uint8(1), uint8(0), uint8(3), uint8(0), uint8(3), uint8(1), uint8(1), uint8(0), uint8(0), uint16(0), uint16(0), int64(-7), uint16(550))
 	f.Add(uint8(2), uint8(2), uint8(2), uint8(2), uint8(0), uint8(11), uint8(0), uint8(2), uint8(2), uint8(2), uint8(3), uint16(119), uint16(199), int64(424242), uint16(30))
 	f.Add(uint8(3), uint8(0), uint8(3), uint8(3), uint8(2), uint8(6), uint8(2), uint8(0), uint8(2), uint8(1), uint8(2), uint16(60), uint16(140), int64(987654321), uint16(420))
+	// High-load / packed-state extremes: single VC with the minimum
+	// buffer (Buf == Pkt) past saturation, 4 VCs at the knee, and the
+	// full 8-VC depth past saturation (vcs raw value v maps to 1+v%8
+	// VCs; loadMil 930 maps to offered 0.95, 430 to 0.45, 30 to 0.05).
+	f.Add(uint8(0), uint8(1), uint8(0), uint8(0), uint8(0), uint8(0), uint8(3), uint8(0), uint8(0), uint8(1), uint8(1), uint16(50), uint16(150), int64(77), uint16(930))
+	f.Add(uint8(2), uint8(1), uint8(1), uint8(1), uint8(3), uint8(13), uint8(1), uint8(1), uint8(0), uint8(2), uint8(2), uint16(40), uint16(160), int64(-31), uint16(430))
+	f.Add(uint8(1), uint8(2), uint8(3), uint8(2), uint8(7), uint8(2), uint8(0), uint8(2), uint8(1), uint8(0), uint8(3), uint16(80), uint16(120), int64(5551), uint16(930))
+	f.Add(uint8(3), uint8(1), uint8(0), uint8(1), uint8(7), uint8(0), uint8(2), uint8(1), uint8(1), uint8(1), uint8(0), uint16(30), uint16(100), int64(404), uint16(30))
 	f.Fuzz(func(t *testing.T, family, size, pattern, link, vcs, buf, pkt, rci, rco, pipe, term uint8,
 		warmup, measure uint16, seed int64, loadMil uint16) {
 		s := SpecFromRaw(family, size, pattern, link, vcs, buf, pkt, rci, rco, pipe, term, warmup, measure, seed, loadMil)

@@ -44,7 +44,11 @@ var (
 // SpecFromRaw maps arbitrary fuzz-provided values into a valid Spec:
 // enums index modulo the tables, every knob clamps into a range where
 // the configuration is buildable and a run completes in well under a
-// second. The mapping is total — any input is a legal test case.
+// second. The mapping is total — any input is a legal test case. The
+// ranges deliberately reach the regimes where the optimized simulator's
+// packed state is most stressed: up to 8 VCs per port, buffers down to
+// the single-packet minimum (Buf == Pkt), and offered loads up to 0.96
+// — deep into saturation, where every arbitration path runs full.
 func SpecFromRaw(family, size, pattern, link, vcs, buf, pkt, rci, rco, pipe, term uint8,
 	warmup, measure uint16, seed int64, loadMil uint16) Spec {
 	p := 1 + int(pkt)%4
@@ -53,9 +57,9 @@ func SpecFromRaw(family, size, pattern, link, vcs, buf, pkt, rci, rco, pipe, ter
 		Size:    int(size) % 3,
 		Pattern: specPatterns[int(pattern)%len(specPatterns)],
 		LinkLat: 1 + int(link)%4,
-		VCs:     1 + int(vcs)%4,
+		VCs:     1 + int(vcs)%8,
 		Pkt:     p,
-		Buf:     max(p, 2) + int(buf)%12,
+		Buf:     p + int(buf)%14,
 		RCI:     1 + int(rci)%3,
 		RCO:     1 + int(rco)%3,
 		Pipe:    int(pipe) % 3,
@@ -63,7 +67,7 @@ func SpecFromRaw(family, size, pattern, link, vcs, buf, pkt, rci, rco, pipe, ter
 		Warmup:  10 + int(warmup)%120,
 		Measure: 40 + int(measure)%200,
 		Seed:    seed,
-		Load:    0.02 + float64(loadMil%600)/1000,
+		Load:    0.02 + float64(loadMil%940)/1000,
 	}
 }
 

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand"
 
 	"waferswitch/internal/obs"
@@ -214,9 +215,14 @@ func percentile(sorted []float64, p float64) float64 {
 // step advances the network by one cycle: channel arrivals, router
 // pipelines (RC/VA then SA), and terminal injection.
 func (n *Network) step(inj Injector) {
+	for k, lv := range n.latVals {
+		n.classSlotBase[k] = n.classOff[k] + int32(n.now%int64(lv))*n.classCnt[k]
+	}
+	for j, np := range n.npVals {
+		n.npRot[j] = int32(n.now % int64(np))
+	}
 	n.arrivals()
-	n.routersRCVA()
-	n.routersSA()
+	n.routers()
 	n.inject(inj)
 	if n.probe != nil {
 		n.recordOccupancy()
@@ -244,123 +250,292 @@ func (n *Network) recordOccupancy() {
 	}
 }
 
-// wakeChan records one new flit or credit event on channel ci, putting
-// it on the arrivals worklist if it was idle. Every producer (forward,
-// inject) must pair each ring or credit-slot write with a wake.
-func (n *Network) wakeChan(ci int32) {
-	n.chanEvents[ci]++
-	if !n.chanInList[ci] {
-		n.chanInList[ci] = true
-		n.chanActive = append(n.chanActive, ci)
+// pushVC appends a flit to input VC gv's ring and returns the queue
+// length before the push. A zero return means the VC just turned
+// non-empty: the caller must follow up with markBusy so the port-level
+// masks track it (split out to keep pushVC under the inlining budget —
+// past the saturation knee almost every arrival joins an already-backed-
+// up queue and never needs the mask update).
+func (n *Network) pushVC(gv int32, f flit) int32 {
+	hl := n.vcHL[gv]
+	l := int32(hl & 0xffff)
+	pos := int32(hl>>16) + l
+	if pos >= n.bufPP {
+		pos -= n.bufPP
+	}
+	n.slab[gv*n.bufPP+pos] = packFlit(f)
+	n.vcHL[gv] = hl + 1
+	return l
+}
+
+// markBusy flags VC gv as newly non-empty in its port's masks: the VC
+// turns busy, and — unless it is mid-packet (vcActive, receiving body
+// flits) — it owes pipeline work, flagged in both the port's VC mask
+// and router r's port summary mask (a shift by port p >= 64 is zero in
+// Go, so wide routers — which scan every port — are left alone).
+func (n *Network) markBusy(in, gv, r, p int32) {
+	bit := uint64(1) << (gv - in*int32(n.V))
+	ps := &n.inState[in]
+	ps.busy |= bit
+	if n.vcStatus[gv] != vcActive {
+		ps.pipe |= bit
+		n.portPipeM[r] |= uint64(1) << uint32(p)
 	}
 }
 
-// arrivals delivers flits and credits whose channel latency elapsed,
-// visiting only channels with undelivered events. Worklist order cannot
-// affect results: each channel feeds exactly one input port (disjoint VC
+// frontVC returns the head flit of input VC gv (which must be
+// non-empty).
+func (n *Network) frontVC(gv int32) flit {
+	return unpackFlit(n.slab[gv*n.bufPP+int32(n.vcHL[gv]>>16)])
+}
+
+// arrivals delivers flits and credits whose channel latency elapsed.
+// Every channel of a latency class matures the same ring slot each
+// cycle, and those slots form one contiguous stripe per class (see the
+// slot-major layout on Network), so the scan is a linear walk of
+// exactly the words that can hold deliverable events; empty slots cost
+// one sequential load. Delivery order (class-major, then stripe
+// position) differs from channel-index order, which cannot affect
+// results: each channel feeds exactly one input port (disjoint VC
 // queues) and credits exactly one output port or terminal, so arrivals
-// on distinct channels commute. Channels drop off the list via
-// swap-remove the cycle their last pending event is consumed.
+// on distinct channels commute.
 func (n *Network) arrivals() {
-	for i := 0; i < len(n.chanActive); {
-		ci := n.chanActive[i]
-		c := &n.channels[ci]
-		slot := n.now % int64(c.lat)
-		if ev := &c.ring[slot]; ev.valid {
-			in := int(c.dstRouter)*n.maxP + int(c.dstPort)
-			n.vcs[in*n.V+int(ev.vc)].push(ev.f)
-			n.inOcc[in]++
-			n.routerOcc[c.dstRouter]++
-			ev.valid = false
-			n.chanEvents[ci]--
-		}
-		if cr := c.credRing[slot]; cr != 0 {
-			if c.srcTerm >= 0 {
-				n.srcCredit[c.srcTerm] += cr
-			} else {
-				n.outs[int(c.srcRouter)*n.maxP+int(c.srcPort)].credits += cr
-			}
-			c.credRing[slot] = 0
-			n.chanEvents[ci]--
-		}
-		if n.chanEvents[ci] == 0 {
-			n.chanInList[ci] = false
-			last := len(n.chanActive) - 1
-			n.chanActive[i] = n.chanActive[last]
-			n.chanActive = n.chanActive[:last]
-			continue
-		}
-		i++
-	}
-}
-
-// routersRCVA advances route computation and VC allocation for the head
-// packet of every non-empty input VC.
-func (n *Network) routersRCVA() {
-	V := n.V
-	for r := 0; r < n.R; r++ {
-		if n.routerOcc[r] == 0 {
-			continue // nothing buffered, nothing to route or allocate
-		}
-		base := r * n.maxP
-		nP := int(n.numPorts[r])
-		for p := 0; p < nP; p++ {
-			if n.inOcc[base+p] == 0 {
+	ringSlab := n.ringSlab
+	V := int32(n.V)
+	maxP := int32(n.maxP)
+	for k := range n.classSlotBase {
+		base := n.classSlotBase[k]
+		recs := n.classHot[k]
+		for i := range recs {
+			w := ringSlab[base+int32(i)]
+			if w == 0 {
 				continue
 			}
-			vbase := (base + p) * V
-			for v := 0; v < V; v++ {
-				vc := &n.vcs[vbase+v]
-				if vc.empty() {
-					continue
+			ringSlab[base+int32(i)] = 0
+			rec := &recs[i]
+			if w&evValid != 0 {
+				f, vc := unpackEv(w)
+				in := rec.dstR*maxP + rec.dstP
+				gv := in*V + vc
+				if n.pushVC(gv, f) == 0 {
+					n.markBusy(in, gv, rec.dstR, rec.dstP)
 				}
-				if vc.state == vcIdle {
-					vc.state = vcRouting
-					vc.rcLeft = n.rcOfIn[base+p]
+				n.routerOcc[rec.dstR]++
+			}
+			if w&evCred != 0 {
+				if sr := rec.srcR; sr >= 0 {
+					so := sr*maxP + rec.srcP
+					c := n.outCredits[so] + 1
+					n.outCredits[so] = c
+					if c == 1 {
+						n.creditM[sr] |= uint64(1) << uint32(rec.srcP)
+					}
+				} else {
+					n.srcCredit[-sr-1]++
+				}
+			}
+		}
+	}
+}
+
+// routers advances every busy router's pipeline: route computation and
+// VC allocation, then switch allocation and traversal. The two phases
+// run back to back per router — a router's pipeline state is already in
+// cache when SA scans it, and the fusion is behavior-identical because
+// RC/VA reads and writes only router-local state while SA's only
+// cross-router effects (flits and credits on channel rings) are not
+// consumed until a later cycle's arrivals.
+func (n *Network) routers() {
+	for r := 0; r < n.R; r++ {
+		if n.routerOcc[r] == 0 {
+			continue // nothing buffered, nothing to route, allocate or forward
+		}
+		n.routerRCVA(r)
+		n.routerSA(r)
+	}
+}
+
+// routerRCVA advances route computation and VC allocation for the head
+// packet of every input VC of router r owing pipeline work. The pipeM
+// scan visits exactly the VCs the dense loop would have advanced
+// (non-empty, not yet vcActive) in the same ascending order; VCs
+// streaming body flits are skipped wholesale, which is most of them
+// past the saturation knee.
+func (n *Network) routerRCVA(r int) {
+	V := int32(n.V)
+	base := int32(r) * int32(n.maxP)
+	if int(n.numPorts[r]) > 64 {
+		n.routerRCVAWide(r)
+		return
+	}
+	// Local headers for the same re-load reason as routerSA.
+	vcStatus := n.vcStatus
+	vcRCLeft := n.vcRCLeft
+	vcOutPort := n.vcOutPort
+	outFreeVC := n.outFreeVC
+	// Ports owing pipeline work, from the router-level summary mask: at
+	// saturation most ports only stream body flits (vcActive, not in any
+	// pipe mask), so the scan touches just the ports with a head packet
+	// mid-RC/VA instead of loading every port's VC mask.
+	for pm := n.portPipeM[r]; pm != 0; pm &= pm - 1 {
+		p := int32(bits.TrailingZeros64(pm))
+		in := base + p
+		m := n.inState[in].pipe
+		if m == 0 {
+			// The summary bit outlived its last pipe VC (possible only if
+			// state was poked from outside the pipeline); drop it.
+			n.portPipeM[r] &^= uint64(1) << uint32(p)
+			continue
+		}
+		vbase := in * V
+		for ; m != 0; m &= m - 1 {
+			v := int32(bits.TrailingZeros64(m))
+			gv := vbase + v
+			st := vcStatus[gv]
+			if st == vcIdle {
+				st = vcRouting
+				vcRCLeft[gv] = n.rcOfIn[in]
+				if n.at != nil {
+					n.atRCStart(n.frontVC(gv).pkt, r)
+				}
+			}
+			if st == vcRouting {
+				left := vcRCLeft[gv] - 1
+				vcRCLeft[gv] = left
+				if left <= 0 {
+					n.computeRoute(r, gv)
+					st = vcVCAlloc
 					if n.at != nil {
-						n.atRCStart(vc.front().pkt, r)
+						n.atRCDone(n.frontVC(gv).pkt, r)
 					}
-				}
-				if vc.state == vcRouting {
-					vc.rcLeft--
-					if vc.rcLeft <= 0 {
-						n.computeRoute(r, vc)
-						vc.state = vcVCAlloc
-						if n.at != nil {
-							n.atRCDone(vc.front().pkt, r)
-						}
-						if n.tr != nil {
-							n.tr.Record(obs.TraceEvent{Cycle: n.now, Packet: vc.front().pkt,
-								Router: int32(r), Kind: obs.TraceRC, Arg: vc.outPort})
-						}
-					}
-				}
-				if vc.state == vcVCAlloc {
-					o := &n.outs[base+int(vc.outPort)]
-					for j := 0; j < V; j++ {
-						ov := (int(o.rrVA) + j) % V
-						if o.vcOwner[ov] == -1 {
-							o.vcOwner[ov] = int32(vbase + v)
-							o.rrVA = int32((ov + 1) % V)
-							vc.outVC = int32(ov)
-							vc.state = vcActive
-							if n.at != nil {
-								n.atVADone(vc.front().pkt, r)
-								vc.attribHead = true
-							}
-							if n.tr != nil {
-								n.tr.Record(obs.TraceEvent{Cycle: n.now, Packet: vc.front().pkt,
-									Router: int32(r), Kind: obs.TraceVA, Arg: vc.outVC})
-								vc.traceHead = true
-							}
-							break
-						}
-					}
-					if vc.state == vcVCAlloc && n.probe != nil {
-						n.probe.Routers[r].VAStalls++
+					if n.tr != nil {
+						n.tr.Record(obs.TraceEvent{Cycle: n.now, Packet: n.frontVC(gv).pkt,
+							Router: int32(r), Kind: obs.TraceRC, Arg: vcOutPort[gv]})
 					}
 				}
 			}
+			if st == vcVCAlloc {
+				out := base + vcOutPort[gv]
+				if free := outFreeVC[out]; free != 0 {
+					// First free output VC at or after the round-robin
+					// pointer, wrapping — the bit-scan form of the old
+					// rotate-and-probe loop.
+					var ov int32
+					if hi := free >> uint(n.outRRVA[out]); hi != 0 {
+						ov = n.outRRVA[out] + int32(bits.TrailingZeros64(hi))
+					} else {
+						ov = int32(bits.TrailingZeros64(free))
+					}
+					outFreeVC[out] = free &^ (uint64(1) << ov)
+					if rr := ov + 1; rr == V {
+						n.outRRVA[out] = 0
+					} else {
+						n.outRRVA[out] = rr
+					}
+					n.vcOutVC[gv] = ov
+					st = vcActive
+					ps := &n.inState[in]
+					if pmNew := ps.pipe &^ (uint64(1) << v); pmNew == 0 {
+						ps.pipe = 0
+						n.portPipeM[r] &^= uint64(1) << uint32(p)
+					} else {
+						ps.pipe = pmNew
+					}
+					if n.at != nil {
+						n.atVADone(n.frontVC(gv).pkt, r)
+						n.vcAttribHead[gv] = true
+					}
+					if n.tr != nil {
+						n.tr.Record(obs.TraceEvent{Cycle: n.now, Packet: n.frontVC(gv).pkt,
+							Router: int32(r), Kind: obs.TraceVA, Arg: ov})
+						n.vcTraceHead[gv] = true
+					}
+				} else if n.probe != nil {
+					n.probe.Routers[r].VAStalls++
+				}
+			}
+			vcStatus[gv] = st
+		}
+	}
+}
+
+// routerRCVAWide is routerRCVA for routers with more than 64 ports,
+// where the port summary does not fit a register mask: every port's VC
+// pipe mask is loaded and tested, with identical decisions in identical
+// order.
+func (n *Network) routerRCVAWide(r int) {
+	V := int32(n.V)
+	base := int32(r) * int32(n.maxP)
+	nP := int32(n.numPorts[r])
+	vcStatus := n.vcStatus
+	vcRCLeft := n.vcRCLeft
+	vcOutPort := n.vcOutPort
+	outFreeVC := n.outFreeVC
+	for p := int32(0); p < nP; p++ {
+		in := base + p
+		m := n.inState[in].pipe
+		if m == 0 {
+			continue
+		}
+		vbase := in * V
+		for ; m != 0; m &= m - 1 {
+			v := int32(bits.TrailingZeros64(m))
+			gv := vbase + v
+			st := vcStatus[gv]
+			if st == vcIdle {
+				st = vcRouting
+				vcRCLeft[gv] = n.rcOfIn[in]
+				if n.at != nil {
+					n.atRCStart(n.frontVC(gv).pkt, r)
+				}
+			}
+			if st == vcRouting {
+				left := vcRCLeft[gv] - 1
+				vcRCLeft[gv] = left
+				if left <= 0 {
+					n.computeRoute(r, gv)
+					st = vcVCAlloc
+					if n.at != nil {
+						n.atRCDone(n.frontVC(gv).pkt, r)
+					}
+					if n.tr != nil {
+						n.tr.Record(obs.TraceEvent{Cycle: n.now, Packet: n.frontVC(gv).pkt,
+							Router: int32(r), Kind: obs.TraceRC, Arg: vcOutPort[gv]})
+					}
+				}
+			}
+			if st == vcVCAlloc {
+				out := base + vcOutPort[gv]
+				if free := outFreeVC[out]; free != 0 {
+					var ov int32
+					if hi := free >> uint(n.outRRVA[out]); hi != 0 {
+						ov = n.outRRVA[out] + int32(bits.TrailingZeros64(hi))
+					} else {
+						ov = int32(bits.TrailingZeros64(free))
+					}
+					outFreeVC[out] = free &^ (uint64(1) << ov)
+					if rr := ov + 1; rr == V {
+						n.outRRVA[out] = 0
+					} else {
+						n.outRRVA[out] = rr
+					}
+					n.vcOutVC[gv] = ov
+					st = vcActive
+					n.inState[in].pipe &^= uint64(1) << v
+					if n.at != nil {
+						n.atVADone(n.frontVC(gv).pkt, r)
+						n.vcAttribHead[gv] = true
+					}
+					if n.tr != nil {
+						n.tr.Record(obs.TraceEvent{Cycle: n.now, Packet: n.frontVC(gv).pkt,
+							Router: int32(r), Kind: obs.TraceVA, Arg: ov})
+						n.vcTraceHead[gv] = true
+					}
+				} else if n.probe != nil {
+					n.probe.Routers[r].VAStalls++
+				}
+			}
+			vcStatus[gv] = st
 		}
 	}
 }
@@ -368,125 +543,250 @@ func (n *Network) routersRCVA() {
 // computeRoute fills the VC's output port for its head packet: the egress
 // terminal port on the destination router, or a shortest-path candidate
 // chosen by packet id (balancing packets across parallel lanes and
-// spines).
-func (n *Network) computeRoute(r int, vc *vcState) {
-	f := vc.front()
-	dst := n.pkts[f.pkt].dst
-	dr := int(n.destRouter[dst])
+// spines). The destination router and egress port come from the packed
+// pktRoute word stamped at packet allocation — one dense int32 load per
+// RC instead of chasing the packet table and two terminal arrays.
+func (n *Network) computeRoute(r int, gv int32) {
+	f := n.frontVC(gv)
+	route := n.pktRoute[f.pkt]
+	dr := int(route & 0xffff)
 	if dr == r {
-		vc.outPort = n.egressPort[dst]
+		n.vcOutPort[gv] = route >> 16
 		return
 	}
-	cands := n.nextPorts[r][dr]
-	vc.outPort = cands[int(f.pkt)%len(cands)]
+	cands := n.nextFlat[r*n.R+dr]
+	n.vcOutPort[gv] = cands[int(f.pkt)%len(cands)]
 }
 
-// routersSA performs separable switch allocation per router and forwards
-// the winning flits.
-func (n *Network) routersSA() {
+// routerSA performs separable switch allocation for router r and
+// forwards the winning flits. Routers with at most 64 ports (all
+// practical radixes after deradixing) track output availability in two
+// registers: openM holds the outputs still grantable this cycle
+// (credits available, not yet granted), grantM the outputs granted.
+// Snapshotting credits into openM up front is exact — the grant phase
+// never mutates outCredits (forwards run after it) — and forwarding
+// grantM's set bits in ascending order reproduces the stamp-scan order
+// bit for bit.
+func (n *Network) routerSA(r int) {
 	V := n.V
-	for r := 0; r < n.R; r++ {
-		if n.routerOcc[r] == 0 {
-			continue // no buffered flits, so no VC can be vcActive
+	base := r * n.maxP
+	nP := int(n.numPorts[r])
+	if nP > 64 {
+		n.routerSAWide(r)
+		return
+	}
+	// Local slice headers and instrumentation flags: the candidate loop
+	// is the simulator's hottest code, and stores through slice elements
+	// force re-loading n's fields every iteration unless they live in
+	// locals.
+	vcOutPort := n.vcOutPort
+	inState := n.inState
+	winner := n.saWinner
+	winnerIn := n.saWinnerIn
+	slow := n.probe != nil || n.at != nil
+	// Grantable outputs: the maintained credit mask, exactly the bits
+	// the per-port credit scan used to assemble.
+	openM := n.creditM[r]
+	var grantM uint64
+	// Rotating input priority. The dense loop kept a per-router
+	// counter incremented exactly once per cycle, so its value was
+	// always the cycle number; deriving the start port from the clock
+	// (now % nP, computed once per cycle per distinct port count) keeps
+	// the arbitration sequence bit-identical while letting idle routers
+	// be skipped without desynchronizing the rotation.
+	start := int(n.npRot[n.npIdx[r]])
+	for i := 0; i < nP; i++ {
+		p := start + i
+		if p >= nP {
+			p -= nP
 		}
-		base := r * n.maxP
-		nP := int(n.numPorts[r])
-		n.saClock++
-		// Rotating input priority. The dense loop kept a per-router
-		// counter incremented exactly once per cycle, so its value was
-		// always the cycle number; deriving the start port from the clock
-		// keeps the arbitration sequence bit-identical while letting idle
-		// routers be skipped without desynchronizing the rotation.
-		start := int(n.now % int64(nP))
-		granted := 0
-		for i := 0; i < nP; i++ {
-			p := start + i
-			if p >= nP {
-				p -= nP
-			}
-			if n.inOcc[base+p] == 0 {
+		in := base + p
+		// Request mask: non-empty VCs in vcActive. Scanned in the
+		// round-robin order the dense loop used — bits at or after the
+		// rotating pointer first, then the wrapped remainder — so the
+		// grant sequence is bit-identical.
+		ps := &inState[in]
+		ready := ps.busy &^ ps.pipe
+		if ready == 0 {
+			continue
+		}
+		rr := ps.rr
+		gvBase := int32(in * V)
+		// Rotating ready right by rr makes one ascending bit scan visit
+		// VCs in round-robin order — bits at or after the pointer first,
+		// then the wrapped remainder — replacing the dense loop's
+		// two-pass hi/lo split with the identical grant sequence.
+		for m := bits.RotateLeft64(ready, -int(rr)); m != 0; m &= m - 1 {
+			v := (int32(bits.TrailingZeros64(m)) + rr) & 63
+			gv := gvBase + v
+			out := int(vcOutPort[gv])
+			if openM>>out&1 == 0 {
+				// Blocked: by an earlier grant (grantM set, an output
+				// that was grantable cannot have been credit-less) or
+				// by exhausted credits, mirroring the stamp-then-
+				// credit test order of the wide path.
+				if slow {
+					if grantM>>out&1 != 0 {
+						if n.probe != nil {
+							n.probe.Routers[r].SAStalls++
+						}
+					} else {
+						if n.probe != nil {
+							n.probe.Routers[r].CreditStalls++
+						}
+						if n.at != nil {
+							n.atCreditStall(gv, r, base+out)
+						}
+					}
+				}
 				continue
 			}
-			vbase := (base + p) * V
-			vcStart := int(n.saVCRR[base+p])
-			for j := 0; j < V; j++ {
-				v := (vcStart + j) % V
-				vc := &n.vcs[vbase+v]
-				if vc.state != vcActive || vc.empty() {
-					continue
-				}
-				out := int(vc.outPort)
+			openM &^= uint64(1) << out
+			grantM |= uint64(1) << out
+			winner[out] = gv
+			winnerIn[out] = int32(in)
+			if rr := v + 1; int(rr) == V {
+				ps.rr = 0
+			} else {
+				ps.rr = rr
+			}
+			break // one grant per input port per cycle
+		}
+	}
+	for ; grantM != 0; grantM &= grantM - 1 {
+		out := bits.TrailingZeros64(grantM)
+		n.forward(r, out, int(winner[out]), int(winnerIn[out]))
+	}
+}
+
+// routerSAWide is routerSA for routers with more than 64 ports, where
+// the output masks do not fit a register: per-output grant stamps
+// replace openM/grantM, with identical grant decisions and forwarding
+// order.
+func (n *Network) routerSAWide(r int) {
+	V := n.V
+	base := r * n.maxP
+	nP := int(n.numPorts[r])
+	n.saClock++
+	start := int(n.npRot[n.npIdx[r]])
+	granted := 0
+	for i := 0; i < nP; i++ {
+		p := start + i
+		if p >= nP {
+			p -= nP
+		}
+		in := base + p
+		ps := &n.inState[in]
+		ready := ps.busy &^ ps.pipe
+		if ready == 0 {
+			continue
+		}
+		rr := ps.rr
+		hi := ready &^ (uint64(1)<<rr - 1)
+		lo := ready ^ hi
+		for k := 0; k < 2; k++ {
+			m := hi
+			if k == 1 {
+				m = lo
+			}
+			for ; m != 0; m &= m - 1 {
+				v := int32(bits.TrailingZeros64(m))
+				gv := int32(in*V) + v
+				out := int(n.vcOutPort[gv])
 				if n.saStamp[out] == n.saClock {
 					if n.probe != nil {
 						n.probe.Routers[r].SAStalls++
 					}
 					continue // output already granted this cycle
 				}
-				if n.outs[base+out].credits <= 0 {
+				if n.outCredits[base+out] <= 0 {
 					if n.probe != nil {
 						n.probe.Routers[r].CreditStalls++
 					}
 					if n.at != nil {
-						n.atCreditStall(vc, r, &n.outs[base+out])
+						n.atCreditStall(gv, r, base+out)
 					}
 					continue
 				}
 				n.saStamp[out] = n.saClock
-				n.saWinner[out] = int32(vbase + v)
-				n.saVCRR[base+p] = int32((v + 1) % V)
+				n.saWinner[out] = gv
+				n.saWinnerIn[out] = int32(in)
+				if rr := v + 1; int(rr) == V {
+					ps.rr = 0
+				} else {
+					ps.rr = rr
+				}
 				granted++
-				break // one grant per input port per cycle
+				k = 2 // one grant per input port per cycle
+				break
 			}
 		}
-		for out := 0; granted > 0; out++ {
-			if n.saStamp[out] != n.saClock {
-				continue
-			}
-			granted--
-			n.forward(r, out, int(n.saWinner[out]))
+	}
+	for out := 0; granted > 0; out++ {
+		if n.saStamp[out] != n.saClock {
+			continue
 		}
+		granted--
+		n.forward(r, out, int(n.saWinner[out]), int(n.saWinnerIn[out]))
 	}
 }
 
 // forward moves the winning flit from its input VC onto the output
-// channel (or the terminal sink), returning a credit upstream.
-func (n *Network) forward(r, out, winnerVC int) {
-	vc := &n.vcs[winnerVC]
-	f := vc.pop()
-	inPort := winnerVC / n.V
-	n.inOcc[inPort]--
+// channel (or the terminal sink), returning a credit upstream. inPort
+// is winnerVC's input port (winnerVC / V), passed down from the grant
+// site to keep divisions out of the per-flit path.
+func (n *Network) forward(r, out, winnerVC, inPort int) {
+	gv := int32(winnerVC)
+	// Pop the head flit of gv's ring in place (the only pop site, inlined
+	// so the per-flit path keeps queue state in registers), clearing the
+	// port's busy bit when the ring empties.
+	buf := n.bufPP
+	hl := n.vcHL[gv]
+	h := int32(hl >> 16)
+	f := unpackFlit(n.slab[gv*buf+h])
+	h++
+	if h == buf {
+		h = 0
+	}
+	left := hl&0xffff - 1
+	n.vcHL[gv] = uint32(h)<<16 | left
+	if left == 0 {
+		n.inState[inPort].busy &^= uint64(1) << (gv - int32(inPort)*int32(n.V))
+	}
 	n.routerOcc[r]--
-	if n.tr != nil && vc.traceHead {
-		vc.traceHead = false
+	if n.tr != nil && n.vcTraceHead[gv] {
+		n.vcTraceHead[gv] = false
 		n.tr.Record(obs.TraceEvent{Cycle: n.now, Packet: f.pkt,
 			Router: int32(r), Kind: obs.TraceST, Arg: int32(out)})
 	}
-	if ci := n.feedCh[inPort]; ci >= 0 {
-		c := &n.channels[ci]
-		slot := n.now % int64(c.lat)
-		if c.credRing[slot] == 0 {
-			n.wakeChan(ci)
-		}
-		c.credRing[slot]++
+	if lp := n.feedLP[inPort]; lp >= 0 {
+		// The credit shares the slot word with any flit written onto the
+		// same channel this cycle (the slot itself was drained by this
+		// cycle's arrivals, so only this cycle's producers are present).
+		n.ringSlab[n.classSlotBase[lp&0x7fffffff]+int32(lp>>31)] |= evCred
 	}
 	if n.probe != nil {
 		n.probe.Routers[r].Flits++
 	}
-	o := &n.outs[r*n.maxP+out]
-	if n.at != nil && vc.attribHead {
-		vc.attribHead = false
+	o := r*n.maxP + out
+	if n.at != nil && n.vcAttribHead[gv] {
+		n.vcAttribHead[gv] = false
 		n.atHeadForward(f.pkt, r, o)
 	}
-	if o.ch >= 0 {
-		c := &n.channels[o.ch]
-		c.ring[n.now%int64(c.lat)] = flitEv{f: f, vc: vc.outVC, valid: true}
-		n.wakeChan(o.ch)
-		o.credits--
+	if lp := n.outLP[o]; lp >= 0 {
+		// OR, not assign: the slot word may already carry this cycle's
+		// returning credit for the same channel.
+		n.ringSlab[n.classSlotBase[lp&0x7fffffff]+int32(lp>>31)] |= packEv(f.pkt, f.last, n.vcOutVC[gv])
+		c := n.outCredits[o] - 1
+		n.outCredits[o] = c
+		if c == 0 {
+			n.creditM[r] &^= uint64(1) << uint32(out)
+		}
 		if n.probe != nil {
-			n.probe.Channels[o.ch].Flits++
+			n.probe.Channels[n.outCh[o]].Flits++
 		}
 		if n.tline != nil {
-			n.tlChanFlits[o.ch]++
+			n.tlChanFlits[n.outCh[o]]++
 		}
 	} else {
 		// Terminal ejection: the flit leaves through the egress pipeline
@@ -511,13 +811,21 @@ func (n *Network) forward(r, out, winnerVC int) {
 			n.completePacket(f.pkt)
 		}
 	}
-	if n.chk != nil && o.ch >= 0 {
+	if n.chk != nil && n.outCh[o] >= 0 {
 		n.chk.noteForward(n.now, f, false)
 	}
 	if f.last {
-		o.vcOwner[vc.outVC] = -1
-		vc.state = vcIdle
-		vc.outPort, vc.outVC = -1, -1
+		// Tail flit: release the output VC back into the allocator's free
+		// mask and return the input VC to idle. If the next packet's head
+		// is already buffered behind the tail, the VC owes pipeline work
+		// again, so it rejoins the RC/VA scan mask.
+		n.outFreeVC[o] |= uint64(1) << n.vcOutVC[gv]
+		n.vcStatus[gv] = vcIdle
+		n.vcOutPort[gv], n.vcOutVC[gv] = -1, -1
+		if left > 0 {
+			n.inState[inPort].pipe |= uint64(1) << (winnerVC - inPort*n.V)
+			n.portPipeM[r] |= uint64(1) << uint32(inPort-r*n.maxP)
+		}
 	}
 }
 
@@ -556,41 +864,53 @@ func (n *Network) completePacket(pkt int32) {
 // inject generates new packets and pushes source flits into the terminal
 // channels, one flit per terminal per cycle, credit permitting.
 func (n *Network) inject(inj Injector) {
+	srcQ := n.srcQ
 	for t := 0; t < n.T; t++ {
+		q := srcQ[t]
+		head := n.srcQHead[t]
+		// Compact the source queue before it would reallocate: a backlog
+		// that never fully drains (any run at or past saturation) keeps
+		// its head moving without ever hitting the len==head reset below,
+		// so append would otherwise grow the slice without bound. Only
+		// compact when at least half the slots are dead — each copy then
+		// frees cap/2 appends' worth of room, keeping the amortized cost
+		// O(1) per packet while bounding capacity at ~2x the pending cap.
+		if len(q) == cap(q) && int(head) >= cap(q)/2 {
+			q = q[:copy(q, q[head:])]
+			srcQ[t] = q
+			head = 0
+			n.srcQHead[t] = 0
+		}
 		// Generate at most one new packet. Packets born in the
 		// measurement window count as measured immediately — source-queue
 		// time is part of their latency, and a saturated network whose
 		// backlog never injects must not report a clean drain.
-		if len(n.srcQ[t])-int(n.srcQHead[t]) < maxPendingPerTerm {
+		if len(q)-int(head) < maxPendingPerTerm {
 			if dst, flits, ok := inj.Generate(t, n.now, n.rng); ok {
 				measured := n.now >= n.measStart && n.now < n.measEnd
 				if measured {
 					n.measuredBorn++
 				}
-				n.srcQ[t] = append(n.srcQ[t], pendingPkt{
+				q = append(q, pendingPkt{
 					dst: int32(dst), size: int32(flits), born: n.now, measured: measured,
 				})
+				srcQ[t] = q
 			}
 		}
 		// Inject one flit of the front packet.
-		head := n.srcQHead[t]
-		if int(head) >= len(n.srcQ[t]) || n.srcCredit[t] <= 0 {
+		if int(head) >= len(q) || n.srcCredit[t] <= 0 {
 			continue
 		}
-		pp := &n.srcQ[t][head]
+		pp := &q[head]
 		sent := n.srcSent[t]
 		if sent == 0 {
 			n.curPkt[t] = n.allocPacket(t, pp)
+			n.curVC[t] = int32(int(n.curPkt[t]) % n.V)
 		}
 		pkt := n.curPkt[t]
-		c := &n.channels[n.termChIn[t]]
+		lp := n.termLP[t]
 		last := sent+1 == pp.size
-		c.ring[n.now%int64(c.lat)] = flitEv{
-			f:     flit{pkt: pkt, last: last},
-			vc:    int32(int(pkt) % n.V),
-			valid: true,
-		}
-		n.wakeChan(n.termChIn[t])
+		n.ringSlab[n.classSlotBase[lp&0x7fffffff]+int32(lp>>31)] |= packEv(pkt, last, n.curVC[t])
 		if n.probe != nil {
 			n.probe.Injected++
 			n.probe.Channels[n.termChIn[t]].Flits++
@@ -610,10 +930,11 @@ func (n *Network) inject(inj Injector) {
 		n.srcSent[t]++
 		if last {
 			n.srcSent[t] = 0
-			n.srcQHead[t]++
-			if int(n.srcQHead[t]) == len(n.srcQ[t]) {
-				n.srcQ[t] = n.srcQ[t][:0]
+			if int(head)+1 == len(q) {
+				srcQ[t] = q[:0]
 				n.srcQHead[t] = 0
+			} else {
+				n.srcQHead[t] = head + 1
 			}
 		}
 	}
@@ -628,12 +949,14 @@ func (n *Network) allocPacket(t int, pp *pendingPkt) int32 {
 		n.freePkts = n.freePkts[:l-1]
 	} else {
 		n.pkts = append(n.pkts, packetInfo{})
+		n.pktRoute = append(n.pktRoute, 0)
 		pkt = int32(len(n.pkts) - 1)
 	}
 	n.pkts[pkt] = packetInfo{
 		src: int32(t), dst: pp.dst, size: pp.size,
 		born: pp.born, measured: pp.measured,
 	}
+	n.pktRoute[pkt] = n.destRouter[pp.dst] | n.egressPort[pp.dst]<<16
 	if n.chk != nil {
 		n.chk.noteAlloc(pkt, n.now)
 	}

@@ -81,11 +81,14 @@ type Config struct {
 }
 
 func (c Config) validate() error {
-	if c.NumVCs < 1 {
-		return fmt.Errorf("sim: NumVCs = %d", c.NumVCs)
+	if c.NumVCs < 1 || c.NumVCs > 64 {
+		return fmt.Errorf("sim: NumVCs = %d (must be 1..64: VC sets are tracked as 64-bit masks)", c.NumVCs)
 	}
 	if c.BufPerPort < c.PacketFlits || c.BufPerPort < 1 {
 		return fmt.Errorf("sim: BufPerPort = %d must hold at least one packet (%d flits)", c.BufPerPort, c.PacketFlits)
+	}
+	if c.BufPerPort > 0xffff {
+		return fmt.Errorf("sim: BufPerPort = %d (must fit 16 bits: VC ring positions are packed head|len words)", c.BufPerPort)
 	}
 	if c.PacketFlits < 1 {
 		return fmt.Errorf("sim: PacketFlits = %d", c.PacketFlits)
@@ -124,63 +127,95 @@ type flit struct {
 	last bool
 }
 
-// vcState is the per-input-VC pipeline state.
-type vcState struct {
-	q     []flit // FIFO: q[head:] are buffered flits
-	head  int32
-	state uint8
-	// traceHead marks that the next flit forwarded from this VC is the
-	// head of a freshly VC-allocated packet; only the tracer sets it (it
-	// packs into state's padding, so the untraced layout is unchanged).
-	traceHead bool
-	// attribHead is the attribution layer's equivalent mark: set at VA
-	// success, cleared at head forward, it tells the credit-stall site
-	// whether the stalled flit is the head being decomposed (packs into
-	// the same padding, so the uninstrumented layout is unchanged).
-	attribHead bool
-	rcLeft     int32
-	outPort    int32
-	outVC      int32
-}
-
-func (v *vcState) empty() bool { return v.head == int32(len(v.q)) }
-func (v *vcState) front() flit { return v.q[v.head] }
-func (v *vcState) push(f flit) { v.q = append(v.q, f) }
-func (v *vcState) pop() flit {
-	f := v.q[v.head]
-	v.head++
-	if v.empty() {
-		v.q = v.q[:0]
-		v.head = 0
+// Buffered flits are stored packed — bit 0 tail, bits 1.. packet id —
+// so the input-buffer slab (the simulator's largest array) holds 4-byte
+// words instead of 8-byte structs, halving its cache footprint.
+func packFlit(f flit) uint32 {
+	w := uint32(f.pkt) << 1
+	if f.last {
+		w |= 1
 	}
-	return f
+	return w
 }
 
-// outState is the per-output-port state: downstream shared-buffer
-// credits, output-VC ownership and arbitration pointers.
-type outState struct {
-	credits int32
-	vcOwner []int32 // per output VC: owning input-VC global index, or -1
-	rrVA    int32
-	ch      int32 // channel index; -1 means terminal sink
+func unpackFlit(w uint32) flit {
+	return flit{pkt: int32(w >> 1), last: w&1 != 0}
 }
 
-// flitEv is a flit in flight on a channel.
-type flitEv struct {
-	f     flit
-	vc    int32
-	valid bool
+// Input-VC pipeline state lives in structure-of-arrays form on Network
+// (see build.go): flat parallel arrays indexed by the global VC index
+// gv = (router*maxP + port)*V + vc hold the queue ring position
+// (vcHL, packed head|len into the shared flit slab), the pipeline state
+// (vcStatus), the RC countdown (vcRCLeft) and the routing decision
+// (vcOutPort/vcOutVC). Per input port, two 64-bit masks index the VCs
+// worth visiting — inState.busy (non-empty) and inState.pipe (non-empty
+// and not yet vcActive, i.e. owed RC or VA work), with portPipeM
+// summarizing the pipe masks per router — so the pipeline loops scan
+// set bits instead of iterating and re-testing every VC. Output-port
+// state is flattened the same way (outCredits/outCh/outRRVA plus the
+// outFreeVC free-output-VC mask), turning VC allocation into a single
+// mask-and-rotate bit scan.
+
+// Events in flight on a channel are packed words, one per ring slot:
+// bit 0 flit valid, bit 1 tail, bit 2 credit present, bits 3..8 the VC
+// (NumVCs <= 64), bits 9.. the packet id. A slot's flit and its
+// returning credit share the word — flow control admits at most one of
+// each per channel per cycle, and a slot is always drained by arrivals
+// before the same cycle's producers write it — so a channel visit moves
+// one word through the memory system instead of two rings' worth of
+// multi-field structs.
+const (
+	evValid uint64 = 1 << 0
+	evLast  uint64 = 1 << 1
+	evCred  uint64 = 1 << 2
+)
+
+func packEv(pkt int32, last bool, vc int32) uint64 {
+	ev := uint64(uint32(pkt))<<9 | uint64(vc)<<3 | evValid
+	if last {
+		ev |= evLast
+	}
+	return ev
 }
 
-// channel is a fixed-latency link: a flit ring toward the destination
-// input port and a credit ring back toward the source output port.
+func unpackEv(ev uint64) (f flit, vc int32) {
+	return flit{pkt: int32(ev >> 9), last: ev&evLast != 0}, int32(ev>>3) & 63
+}
+
+// channel is a fixed-latency link: a ring of packed event slots carrying
+// flits toward the destination input port and credits back toward the
+// source output port. The ring's storage lives slot-major per latency
+// class in the network-wide ringSlab (see the channel-state fields on
+// Network); latIdx names the channel's latency class. The struct itself
+// holds only cold topology metadata — the hot path reads the flat
+// chan* arrays instead.
 type channel struct {
 	lat                int32
+	latIdx             int32
 	srcRouter, srcPort int32 // -1,-1 when fed by a terminal source
 	srcTerm            int32 // terminal index when terminal-fed, else -1
 	dstRouter, dstPort int32
-	ring               []flitEv
-	credRing           []int32
+}
+
+// portState is one input port's VC scan state, kept in a single record
+// so the allocation loops touch one cache line per port visit: the
+// non-empty-VC mask, the owes-RC/VA mask, and the switch allocator's
+// rotating VC priority.
+type portState struct {
+	busy uint64
+	pipe uint64
+	rr   int32
+}
+
+// chanHot is the per-channel record the arrivals stripe scan reads, in
+// stripe order per latency class (classHot): the destination router and
+// port a flit is buffered at, and the source router and port a
+// returning credit replenishes. srcR is -(term+1) for terminal-fed
+// channels (srcP is then unused). Flat indices are recomputed from the
+// record (one multiply) — 16-byte records keep the scan's stride a
+// power of two.
+type chanHot struct {
+	dstR, dstP, srcR, srcP int32
 }
 
 // packetInfo records one in-flight packet.
