@@ -50,18 +50,23 @@ fmt:
 # engine's tests (abort_test, saturation_test, converge_test, and the
 # expt adaptive determinism tests) live inside these packages, so the
 # early-abort detector and bisection search run under the race detector
-# on every check.
+# on every check — as does the sharded single-sim engine (shard_test,
+# shard_equiv_test), whose worker goroutines, boundary outboxes and
+# shared packet pool are exactly what the race detector exists to vet.
 race:
 	$(GO) test -race ./internal/sim/... ./internal/obs/...
 	$(GO) test -race -short ./internal/expt/...
 
 # fuzz-smoke gives each differential fuzz target a short budget on top
 # of the committed seed corpus: FuzzSimEquivalence diffs the optimized
-# simulator against internal/sim/refsim, FuzzSweepDeterminism diffs
-# parallel sweeps against serial ones. Failures print a replay spec for
-# `wsswitch -replay`.
+# simulator against internal/sim/refsim, FuzzShardEquivalence adds the
+# shard-count dimension to the same three-way oracle (its committed
+# seeds include prime shard counts and more shards than routers),
+# FuzzSweepDeterminism diffs parallel sweeps against serial ones.
+# Failures print a replay spec for `wsswitch -replay`.
 fuzz-smoke:
 	$(GO) test ./internal/sim/refsim -run NONE -fuzz 'FuzzSimEquivalence$$' -fuzztime 10s
+	$(GO) test ./internal/sim/refsim -run NONE -fuzz 'FuzzShardEquivalence$$' -fuzztime 10s
 	$(GO) test ./internal/sim/refsim -run NONE -fuzz 'FuzzSweepDeterminism$$' -fuzztime 10s
 
 # cover enforces the total -short coverage floor (COVER_FLOOR).
@@ -83,20 +88,23 @@ bench-smoke:
 
 # bench-json snapshots the guard benchmarks (simulator inner loop with
 # the timeline/tracer/attribution on and off, the saturated/knee
-# hot-loop guards, and the sweep engine serial/parallel plus
-# exhaustive/adaptive saturation pairs: ns/op, allocs/op, cycles/op)
-# into BENCH_sim.json so the perf trajectory is machine-readable across
-# commits. The *Off cases pin the disabled observability paths at
-# 0 allocs/op. benchjson -diff gates the fresh numbers against the
-# committed baseline — >15% ns/op regressions, any allocation or
-# beyond-tolerance B/op growth on a zero-alloc guard, or a silently
-# dropped benchmark fail the target before the snapshot is overwritten
-# (a geomean ns/op delta line prints either way). To intentionally
-# re-pin after a known change: make bench-json DIFF_FLAGS=
+# hot-loop guards, the sharded whole-run guard at 1/2/4/8 shards, and
+# the sweep engine serial/parallel plus exhaustive/adaptive saturation
+# pairs: ns/op, allocs/op, cycles/op) into BENCH_sim.json so the perf
+# trajectory is machine-readable across commits. The *Off cases pin the
+# disabled observability paths at 0 allocs/op. benchjson -diff gates
+# the fresh numbers against the committed baseline — >15% ns/op
+# regressions, any allocation or beyond-tolerance B/op growth on a
+# zero-alloc guard, or a silently dropped benchmark fail the target
+# before the snapshot is overwritten (a geomean ns/op delta line prints
+# either way). Independently of the baseline, benchjson gates the
+# sharded guard's serial/4-shard ratio at >= 2x whenever the run had
+# GOMAXPROCS >= 4 (skipped with a notice on fewer cores). To
+# intentionally re-pin after a known change: make bench-json DIFF_FLAGS=
 DIFF_FLAGS ?= -diff BENCH_sim.json
 bench-json:
 	{ $(GO) test -run NONE -short -bench 'BenchmarkSimCycle$$|BenchmarkSimTimeline|BenchmarkSimTracer|BenchmarkSweepSerial$$|BenchmarkSweepParallel$$|BenchmarkSweepExhaustive$$|BenchmarkSweepAdaptive$$' -benchmem . ; \
-	  $(GO) test -run NONE -short -bench 'BenchmarkSimSteadyState|BenchmarkSimAttribution|BenchmarkSimCycleSaturated|BenchmarkSimCycleKnee$$' -benchmem ./internal/sim ; } \
+	  $(GO) test -run NONE -short -bench 'BenchmarkSimSteadyState|BenchmarkSimAttribution|BenchmarkSimCycleSaturated|BenchmarkSimCycleKnee$$|BenchmarkSimShardedSaturated' -benchmem ./internal/sim ; } \
 	| $(GO) run ./cmd/benchjson $(DIFF_FLAGS) > BENCH_sim.json.tmp
 	mv BENCH_sim.json.tmp BENCH_sim.json
 	@echo wrote BENCH_sim.json

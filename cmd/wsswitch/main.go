@@ -14,6 +14,10 @@
 //	wsswitch -workers N <id>   cap the worker goroutines experiments fan
 //	                           sweep points across (0 = one per CPU,
 //	                           1 = serial; results are identical)
+//	wsswitch -shards N <id>    shard each simulation across N goroutines
+//	                           (spatial partition, bit-identical results;
+//	                           incompatible with -timeline, -attribution
+//	                           and -http, which need a global view)
 //	wsswitch -cpuprofile f ... write a pprof CPU profile of the run
 //	                           (samples carry experiment/worker/point
 //	                           pprof labels)
@@ -84,6 +88,10 @@ type jsonOptions struct {
 	Adaptive bool `json:"adaptive,omitempty"`
 	// Attribution is likewise omitted when congestion attribution is off.
 	Attribution bool `json:"attribution,omitempty"`
+	// Shards records the sharded-engine width (omitted when serial), so a
+	// -json artifact names the execution mode that produced it — even
+	// though sharded results are bit-identical to serial ones.
+	Shards int `json:"shards,omitempty"`
 }
 
 type jsonResult struct {
@@ -102,6 +110,7 @@ func run() int {
 	jsonOut := flag.Bool("json", false, "emit results as JSON (tables, raw stats, probe snapshots)")
 	verbose := flag.Bool("v", false, "structured progress logs (slog) on stderr")
 	workers := flag.Int("workers", 0, "worker goroutines for parallel sweeps (0 = GOMAXPROCS, 1 = serial)")
+	shards := flag.Int("shards", 0, "shard each simulation across `N` goroutines (spatial partition; <=1 = serial, results bit-identical)")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to `file`")
 	memprofile := flag.String("memprofile", "", "write heap profile to `file`")
 	replay := flag.String("replay", "", "re-run a differential-test `spec` (as printed by a failing equivalence test or fuzz run) through both simulators and report")
@@ -125,7 +134,11 @@ func run() int {
 		return 2
 	}
 	opts := expt.Options{Quick: *quick, Seed: *seed, Probe: *jsonOut, Workers: *workers,
-		TimelineInterval: *timeline, Adaptive: *adaptive, Attribution: *attribution}
+		Shards: *shards, TimelineInterval: *timeline, Adaptive: *adaptive, Attribution: *attribution}
+	if *shards > 1 && (*attribution || *timeline > 0 || *httpAddr != "") {
+		fmt.Fprintln(os.Stderr, "wsswitch: -shards is incompatible with -attribution, -timeline and -http (they need a global cycle-by-cycle view); run serial")
+		return 2
+	}
 	if *verbose {
 		opts.Logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{
 			Level: slog.LevelDebug,
@@ -194,7 +207,7 @@ func run() int {
 
 	failed := false
 	out := jsonOutput{Options: jsonOptions{Quick: *quick, Seed: *seed, Workers: *workers,
-		Adaptive: *adaptive, Attribution: opts.Attribution}}
+		Adaptive: *adaptive, Attribution: opts.Attribution, Shards: *shards}}
 	for _, id := range ids {
 		t, err := expt.Run(id, opts)
 		if err != nil {
@@ -331,6 +344,7 @@ examples:
   wsswitch -json fig22 > fig22.json # tables + stats + probe counters
   wsswitch -v -quick fig23          # watch simulation progress
   wsswitch -workers 1 fig22         # force serial execution (same results)
+  wsswitch -shards 4 fig22          # shard each simulation 4 ways (same results)
   wsswitch -cpuprofile cpu.out fig24
   wsswitch -replay "family=clos size=0 pattern=uniform link=1 vcs=2 buf=8 pkt=2 rci=1 rco=1 pipe=1 term=1 warmup=50 measure=150 drain=0 seed=42 load=0.25"
   wsswitch -replay "..." -trace out.json   # packet-lifecycle trace for Perfetto

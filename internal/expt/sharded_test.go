@@ -1,0 +1,67 @@
+package expt
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestFig22ShardedByteIdentical pins the experiment-level contract of
+// the sharded engine: a whole experiment table — rows, notes, attached
+// stats, summaries and probe snapshots, i.e. everything wsswitch -json
+// serializes — is byte-identical whether each simulation runs serial or
+// sharded, with or without parallel workers around it.
+func TestFig22ShardedByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multiple full fig22 runs in short mode")
+	}
+	serial, err := Run("fig22", Options{Quick: true, Seed: 1, Workers: 1, Probe: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range []Options{
+		{Quick: true, Seed: 1, Workers: 1, Probe: true, Shards: 4},
+		{Quick: true, Seed: 1, Workers: 2, Probe: true, Shards: 3},
+	} {
+		sharded, err := Run("fig22", o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := json.Marshal(sharded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("shards=%d workers=%d: fig22 diverged from serial", o.Shards, o.Workers)
+		}
+	}
+}
+
+// TestFig21AdaptiveShardedByteIdentical pins the composition of the
+// adaptive bisection engine with the sharded engine: the knee searches'
+// evaluation paths are driven by per-point Drained outcomes, so sharded
+// execution must reproduce the serial searches byte for byte.
+func TestFig21AdaptiveShardedByteIdentical(t *testing.T) {
+	serial, err := Run("fig21", Options{Quick: true, Seed: 1, Adaptive: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := Run("fig21", Options{Quick: true, Seed: 1, Adaptive: true, Workers: 1, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Error("adaptive fig21 diverged between serial and sharded execution")
+	}
+}

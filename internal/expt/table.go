@@ -163,6 +163,13 @@ type Options struct {
 	// the latency reported for non-drained points change.
 	Adaptive bool
 
+	// Shards, when > 1, runs every simulator point through the sharded
+	// single-sim engine (sim.Network.RunSharded) on that many shards
+	// (wsswitch -shards). Results are bit-identical to serial runs; it
+	// is incompatible with TimelineInterval and Attribution, which need
+	// a global cycle-by-cycle view.
+	Shards int
+
 	// ctx carries the experiment's pprof label context, set by Run, so
 	// worker goroutines add their worker/point labels to the experiment
 	// label instead of replacing it.

@@ -145,6 +145,16 @@ func (h *Histogram) Reset() {
 	*h = Histogram{}
 }
 
+// SetSum overrides the accumulated float sum. Merging per-shard
+// histograms adds their sums in shard order, which is a different
+// float-addition order than the serial run's; callers that know the
+// canonical order (e.g. a per-router fold) install it here so Equal —
+// which compares the full struct including the float sum — holds
+// between serial and merged results.
+func (h *Histogram) SetSum(sum float64) {
+	h.sum = sum
+}
+
 // Equal reports whether two histograms observed identical sample
 // streams: same bucket counts, count, sum and extremes. Differential
 // tests use it to require bit-identical latency distributions from two

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"strconv"
 	"testing"
 
 	"waferswitch/internal/ssc"
@@ -83,4 +84,74 @@ func BenchmarkSimCycleSaturated(b *testing.B) {
 // most often.
 func BenchmarkSimCycleKnee(b *testing.B) {
 	benchCycleAtLoad(b, benchClos(b), 0.75)
+}
+
+// BenchmarkSimShardedSaturated pins whole-run cost of the sharded
+// engine on a 1024-port Clos past saturation — the regime the Section
+// VI sweeps spend their wall-clock in, at the scale sharding targets.
+// One op is one complete RunSharded: shard setup, warmup, measurement
+// and the (bounded) drain; network construction is excluded by timer
+// stops. shards=1 delegates to the serial Run, so the shards=1 /
+// shards=4 pair is the serial-vs-sharded comparison benchjson's
+// -shard-speedup gate reads from BENCH_sim.json re-pins. The gate only
+// arms when the run had GOMAXPROCS >= 4 — on fewer cores the epoch
+// barriers cost wall-clock instead of hiding it, and the numbers
+// measure barrier overhead, not speedup. Link latency 4 gives a
+// 4-cycle conservative-lookahead epoch, the realistic regime for
+// wafer-scale reaches (serial results are latency-for-latency
+// comparable since both run the same channels).
+//
+// allocs/op is the one-time sharding setup (per-shard layout, ring
+// slabs, outboxes); the steady-state loop itself allocates nothing —
+// that contract is gated by TestRunShardedSteadyStateAllocs, which a
+// whole-run benchmark cannot isolate.
+func BenchmarkSimShardedSaturated(b *testing.B) {
+	closChip, err := ssc.MustTH5(200).Deradix(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	clos, err := topo.HomogeneousClos(1024, closChip)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// 4x4 flattened butterfly of full-radix chips: 16 nodes x 64
+	// external ports = 1024 ports on 16 radix-256 routers.
+	fbfly, err := topo.FlattenedButterfly(4, 4, ssc.MustTH5(200))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		top  *topo.Topology
+	}{{"clos", clos}, {"fbfly", fbfly}} {
+		cfg := Config{
+			NumVCs: 2, BufPerPort: 16, PacketFlits: 2,
+			RCIngress: 1, RCOther: 1, PipeDelay: 1, TermDelay: 1,
+			WarmupCycles: 80, MeasureCycles: 240, DrainCycles: 64, Seed: 7,
+		}
+		inj, err := SyntheticInjector(traffic.Uniform(tc.top.ExternalPorts()), cfg.PacketFlits)(0.9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range []int{1, 2, 4, 8} {
+			b.Run(tc.name+"/shards="+strconv.Itoa(s), func(b *testing.B) {
+				b.ReportAllocs()
+				var cycles int64
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					n, err := Build(tc.top, ConstantLatency(4), cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					st, err := n.RunSharded(inj, 0.9, s)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles += st.Cycles
+				}
+				b.ReportMetric(float64(cycles)/float64(b.N), "cycles/op")
+			})
+		}
+	}
 }

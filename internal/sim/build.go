@@ -168,11 +168,35 @@ type Network struct {
 	// destination router (low 16 bits) and egress port (high bits),
 	// packed at allocation so route computation reads one dense word
 	// instead of the 20-byte packetInfo plus two terminal arrays.
+	// pktSalt is a per-packet hash of (source terminal, per-terminal
+	// sequence number) assigned at allocation: every tie-break that used
+	// to key off the packet-table index (adaptive route choice, injection
+	// VC) keys off the salt instead, so packet ids are unobservable and
+	// any allocator — serial append/LIFO or the sharded pool — yields
+	// bit-identical traffic.
 	pkts     []packetInfo
 	pktRoute []int32
+	pktSalt  []uint32
 	freePkts []int32
 
-	rng *rand.Rand
+	// pool, when non-nil, is the shared packet-id reserve the sharded
+	// engine refills per-shard freelists from (see shard.go). Serial
+	// runs leave it nil and grow the table by append.
+	pool *pktPool
+
+	// bnd holds this shard's boundary-channel redirects: producers whose
+	// channel crosses a shard cut carry a sentinel packed offset
+	// (lp <= -2) indexing this table instead of a local ring slot (see
+	// shard.go). Empty for serial runs.
+	bnd []bndRef
+
+	// termRng holds one private random stream per terminal (see
+	// TermRNG): injection draws from termRng[t], so the traffic
+	// realization is independent of the global injection scan order and
+	// identical whether terminals are stepped by one goroutine or many.
+	// termSeq counts packets generated per terminal (the salt input).
+	termRng []*rand.Rand
+	termSeq []uint32
 
 	// Scratch for switch allocation, reused across routers.
 	saWinner   []int32 // per output port: winning input-VC global index
@@ -182,13 +206,36 @@ type Network struct {
 
 	now int64
 
+	// Shard-local loop bounds: the router range [rLo,rHi) and terminal
+	// range [tLo,tHi) this Network instance steps. Build sets the full
+	// ranges; the sharded engine's per-shard copies narrow them (see
+	// shard.go). Terminals are assigned in router order, so a contiguous
+	// router range owns a contiguous terminal range.
+	rLo, rHi int
+	tLo, tHi int
+
+	// Grid shape captured from the topology (0 when not a mesh); the
+	// spatial partitioner aligns shard cuts to grid rows.
+	meshRows, meshCols int
+
 	// Statistics accumulators (managed by run.go).
 	measStart, measEnd int64
 	latencySum         float64
-	latHist            obs.Histogram // per measured packet, for percentiles; fixed memory
-	completed          int
-	measuredBorn       int
-	ejectedFlits       int64
+	// latSumR accumulates measured packet latencies per ejecting router.
+	// Each router completes its packets in cycle order regardless of how
+	// routers are interleaved, so the ascending-router fold of latSumR is
+	// the canonical float latency sum — identical for serial and sharded
+	// runs — installed into the final Stats and histogram (latencySum
+	// stays maintained in completion order for the convergence batcher).
+	latSumR []float64
+	// lastDone is the cycle the most recent measured packet completed on;
+	// the sharded engine takes the max across shards to reconstruct the
+	// exact serial drain-stop cycle.
+	lastDone     int64
+	latHist      obs.Histogram // per measured packet, for percentiles; fixed memory
+	completed    int
+	measuredBorn int
+	ejectedFlits int64
 
 	// Observability (see probe.go): both are nil-checked on the fast
 	// path, so a run without instrumentation pays only the branch.
@@ -289,9 +336,17 @@ func Build(t *topo.Topology, lat LinkLatency, cfg Config) (*Network, error) {
 		saWinner:     make([]int32, maxP),
 		saWinnerIn:   make([]int32, maxP),
 		saStamp:      make([]int64, maxP),
-		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		latSumR:      make([]float64, R),
+		termSeq:      make([]uint32, T),
+		rLo:          0,
+		rHi:          R,
+		tLo:          0,
+		tHi:          T,
+		meshRows:     t.MeshRows,
+		meshCols:     t.MeshCols,
 		logger:       cfg.Logger,
 	}
+	n.initTermRng(cfg.Seed)
 	for i := range n.feedCh {
 		n.feedCh[i] = -1
 	}
@@ -474,13 +529,27 @@ func Build(t *topo.Topology, lat LinkLatency, cfg Config) (*Network, error) {
 // with.
 func (n *Network) BaseSeed() int64 { return n.cfg.Seed }
 
-// Reseed replaces the network's RNG with one seeded by seed. Call it
-// before Run; the sweep engine uses it to give every point a seed
-// derived from the base seed and the point index (see PointSeed), so
-// parallel and serial sweeps draw identical random streams.
+// Reseed replaces the network's random streams with ones seeded by
+// seed. Call it before Run; the sweep engine uses it to give every
+// point a seed derived from the base seed and the point index (see
+// PointSeed), so parallel and serial sweeps draw identical random
+// streams.
 func (n *Network) Reseed(seed int64) {
 	n.cfg.Seed = seed
-	n.rng = rand.New(rand.NewSource(seed))
+	n.initTermRng(seed)
+	for t := range n.termSeq {
+		n.termSeq[t] = 0
+	}
+}
+
+// initTermRng (re)builds the per-terminal random streams for seed.
+func (n *Network) initTermRng(seed int64) {
+	if n.termRng == nil {
+		n.termRng = make([]*rand.Rand, n.T)
+	}
+	for t := range n.termRng {
+		n.termRng[t] = TermRNG(seed, t)
+	}
 }
 
 // fullVCMask returns the mask with the low v bits set (v = 64 yields

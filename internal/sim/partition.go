@@ -1,0 +1,155 @@
+package sim
+
+import "sort"
+
+// Spatial partitioning for the sharded engine (shard.go). Shards are
+// contiguous router index ranges: Build assigns terminals in router
+// order, so a contiguous router range [rLo,rHi) owns the contiguous
+// terminal range [termStart[rLo], termStart[rHi]) and the serial cycle
+// loop runs unchanged over the narrowed bounds. The partitioner's job
+// is therefore to choose cut points: it minimizes the number of
+// channels crossing the cuts (the only state shards exchange) subject
+// to a balance window around R/shards routers per shard.
+//
+// The cut-cost objective is topology-aware without special cases
+// because it reads the real channel graph: on a row-major mesh a cut
+// inside a row crosses both rows' vertical links plus a horizontal
+// link, so the minimum-cost cuts align to row boundaries; on a Clos
+// the leaf/spine construction order groups leaves together, so cuts
+// fall between leaf groups. When the dynamic program would be too
+// large (or the balance window infeasible), the partitioner falls
+// back to plain equal index ranges — correct, just with more boundary
+// traffic.
+
+// partitionDPLimit bounds the O(shards * R * window) cut search; above
+// it the equal-range fallback is used (setup cost only, not fidelity).
+const partitionDPLimit = 1 << 13
+
+// partitionRouters returns shards+1 ascending cut points with cuts[0]=0
+// and cuts[shards]=R; shard s owns routers [cuts[s], cuts[s+1]). The
+// caller must pass 1 <= shards <= R.
+func (n *Network) partitionRouters(shards int) []int {
+	R := n.R
+	cuts := make([]int, shards+1)
+	equalRanges := func() []int {
+		for s := 0; s <= shards; s++ {
+			cuts[s] = s * R / shards
+		}
+		return cuts
+	}
+	if shards <= 1 || R > partitionDPLimit {
+		return equalRanges()
+	}
+	if rows, cols := n.meshRows, n.meshCols; rows > 1 && cols > 0 && rows*cols == R && shards <= rows {
+		// Grid fast path: routers are row-major, so whole-row bands are
+		// contiguous index ranges and a row-aligned cut severs exactly
+		// one row of vertical links — the DP's optimum, directly.
+		for s := 0; s <= shards; s++ {
+			cuts[s] = s * rows / shards * cols
+		}
+		return cuts
+	}
+
+	// cross[p] = number of inter-router channels a cut at p severs
+	// (channels with min(src,dst) < p <= max(src,dst)), via a
+	// difference array over the channel list.
+	diff := make([]int, R+1)
+	for i := range n.channels {
+		c := &n.channels[i]
+		if c.srcRouter < 0 {
+			continue // terminal channels never cross a cut
+		}
+		lo, hi := c.srcRouter, c.dstRouter
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if lo != hi {
+			diff[lo+1]++
+			diff[hi+1]--
+		}
+	}
+	cross := make([]int, R+1)
+	for p := 1; p <= R; p++ {
+		cross[p] = cross[p-1] + diff[p]
+	}
+
+	// Balance window: shard sizes within ±25% of R/shards (at least 1).
+	minSz := R / shards * 3 / 4
+	if minSz < 1 {
+		minSz = 1
+	}
+	maxSz := (R + shards - 1) / shards * 5 / 4
+	if maxSz < minSz {
+		maxSz = minSz
+	}
+	if shards*minSz > R || shards*maxSz < R {
+		return equalRanges()
+	}
+
+	// g[s][p]: minimum severed-channel total over internal cuts for
+	// partitioning [0,p) into s shards; parent[s][p] reconstructs the
+	// cuts. Ties take the smallest previous cut so the result is
+	// deterministic.
+	const inf = int(^uint(0) >> 1)
+	g := make([][]int, shards+1)
+	parent := make([][]int, shards+1)
+	for s := range g {
+		g[s] = make([]int, R+1)
+		parent[s] = make([]int, R+1)
+		for p := range g[s] {
+			g[s][p] = inf
+			parent[s][p] = -1
+		}
+	}
+	g[0][0] = 0
+	for s := 1; s <= shards; s++ {
+		for p := s * minSz; p <= R; p++ {
+			lo, hi := p-maxSz, p-minSz
+			if lo < 0 {
+				lo = 0
+			}
+			best, bestQ := inf, -1
+			for q := lo; q <= hi; q++ {
+				if g[s-1][q] == inf {
+					continue
+				}
+				cost := g[s-1][q]
+				if q > 0 {
+					cost += cross[q]
+				}
+				if cost < best {
+					best, bestQ = cost, q
+				}
+			}
+			g[s][p], parent[s][p] = best, bestQ
+		}
+	}
+	if g[shards][R] == inf {
+		return equalRanges()
+	}
+	p := R
+	for s := shards; s >= 1; s-- {
+		cuts[s] = p
+		p = parent[s][p]
+	}
+	cuts[0] = 0
+	if !sort.IntsAreSorted(cuts) || p != 0 {
+		return equalRanges() // defensive; the DP invariants make this unreachable
+	}
+	return cuts
+}
+
+// termStarts returns the R+1 prefix array of terminals per router:
+// router r hosts terminals [termStarts[r], termStarts[r+1]). Build
+// assigns terminal indices in router order, which is what makes
+// contiguous router ranges own contiguous terminal ranges.
+func (n *Network) termStarts() []int {
+	starts := make([]int, n.R+1)
+	for t := 0; t < n.T; t++ {
+		starts[n.destRouter[t]+1]++
+	}
+	for r := 0; r < n.R; r++ {
+		starts[r+1] += starts[r]
+	}
+	return starts
+}

@@ -43,6 +43,41 @@ func FuzzSimEquivalence(f *testing.F) {
 	})
 }
 
+// FuzzShardEquivalence extends the differential harness with the shard
+// dimension: the raw tuple is FuzzSimEquivalence's plus one byte that
+// maps to a shard count in [2, 11], and the sharded engine joins the
+// three-way Diff — reference, serial optimized and sharded must all
+// agree bit-for-bit. The count range deliberately includes primes that
+// never divide the router counts evenly and values above the smallest
+// topologies' router counts (mesh size 0 has 4 routers), so clamping
+// and maximally-uneven partitions are fuzzed too. This is a separate
+// target rather than a new SpecFromRaw parameter because Go fuzz corpus
+// entries are typed argument lists: extending the existing signature
+// would orphan FuzzSimEquivalence's corpus.
+func FuzzShardEquivalence(f *testing.F) {
+	// Seed corpus: prime shard counts (3, 7) across families, a power of
+	// two on the big clos, and shards far above the router count on the
+	// smallest mesh (shard raw 9 maps to 11 shards vs 4 routers).
+	f.Add(uint8(0), uint8(0), uint8(0), uint8(1), uint8(1), uint8(4), uint8(1), uint8(0), uint8(0), uint8(1), uint8(1), uint16(40), uint16(100), int64(1), uint16(200), uint8(1))
+	f.Add(uint8(1), uint8(0), uint8(1), uint8(0), uint8(3), uint8(0), uint8(3), uint8(1), uint8(1), uint8(0), uint8(0), uint16(30), uint16(90), int64(-7), uint16(550), uint8(9))
+	f.Add(uint8(2), uint8(2), uint8(2), uint8(2), uint8(0), uint8(11), uint8(0), uint8(2), uint8(2), uint8(2), uint8(3), uint16(119), uint16(199), int64(424242), uint16(30), uint8(5))
+	f.Add(uint8(3), uint8(1), uint8(3), uint8(3), uint8(2), uint8(6), uint8(2), uint8(0), uint8(2), uint8(1), uint8(2), uint16(60), uint16(140), int64(987654321), uint16(420), uint8(1))
+	f.Add(uint8(0), uint8(2), uint8(0), uint8(0), uint8(0), uint8(0), uint8(3), uint8(0), uint8(0), uint8(1), uint8(1), uint16(50), uint16(150), int64(77), uint16(930), uint8(2))
+	f.Add(uint8(3), uint8(0), uint8(1), uint8(1), uint8(7), uint8(2), uint8(1), uint8(1), uint8(0), uint8(2), uint8(2), uint16(40), uint16(160), int64(-31), uint16(930), uint8(5))
+	f.Fuzz(func(t *testing.T, family, size, pattern, link, vcs, buf, pkt, rci, rco, pipe, term uint8,
+		warmup, measure uint16, seed int64, loadMil uint16, shardRaw uint8) {
+		s := SpecFromRaw(family, size, pattern, link, vcs, buf, pkt, rci, rco, pipe, term, warmup, measure, seed, loadMil)
+		s.Shards = 2 + int(shardRaw)%10
+		rep, err := s.Diff()
+		if err != nil {
+			t.Fatalf("diff %s: %v", s, err)
+		}
+		if !rep.OK() {
+			t.Fatalf("simulators diverge; replay with: wsswitch -replay %q\n%s", s.String(), rep.Summary())
+		}
+	})
+}
+
 // FuzzSweepDeterminism fuzzes the parallel sweep engine's determinism
 // contract: a sweep fanned across W workers must be bit-identical —
 // per-point Stats and the merged aggregate histogram — to the same

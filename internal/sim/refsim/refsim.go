@@ -128,17 +128,26 @@ type network struct {
 	curPkt    []int
 
 	pkts     []rpkt
+	pktSalt  []uint32
 	freePkts []int
 
-	rng *rand.Rand
-	now int64
+	// Per-terminal RNG streams and packet-sequence counters, mirroring
+	// the optimized simulator (sim.TermRNG / sim.PacketSalt): traffic
+	// and routing tie-breaks are pure functions of (seed, terminal,
+	// sequence), never of scan order or packet-table ids.
+	termRng []*rand.Rand
+	termSeq []uint32
+	now     int64
 
 	measStart, measEnd int64
-	latencySum         float64
-	latHist            obs.Histogram
-	completed          int
-	measuredBorn       int
-	ejectedFlits       int64
+	// latSumR mirrors the optimized simulator's per-ejecting-router
+	// latency sums; the ascending-router fold is the canonical float
+	// latency sum both engines report.
+	latSumR      []float64
+	latHist      obs.Histogram
+	completed    int
+	measuredBorn int
+	ejectedFlits int64
 
 	deliveries []sim.Delivery
 }
@@ -183,7 +192,12 @@ func Run(t *topo.Topology, lat sim.LinkLatency, cfg sim.Config, inj sim.Injector
 		Cycles:    n.now,
 	}
 	if n.completed > 0 {
-		st.AvgLatency = n.latencySum / float64(n.completed)
+		var sum float64
+		for r := 0; r < n.R; r++ {
+			sum += n.latSumR[r]
+		}
+		n.latHist.SetSum(sum)
+		st.AvgLatency = sum / float64(n.completed)
 		st.P50Latency = n.latHist.Percentile(0.50)
 		st.P99Latency = n.latHist.Percentile(0.99)
 		st.P999Latency = n.latHist.Percentile(0.999)
@@ -227,7 +241,12 @@ func build(t *topo.Topology, lat sim.LinkLatency, cfg sim.Config) (*network, err
 	n := &network{
 		cfg: cfg, R: R, V: V, T: T,
 		routers: make([]router, R),
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		termRng: make([]*rand.Rand, T),
+		termSeq: make([]uint32, T),
+		latSumR: make([]float64, R),
+	}
+	for t := 0; t < T; t++ {
+		n.termRng[t] = sim.TermRNG(cfg.Seed, t)
 	}
 	for r := range n.routers {
 		rt := &n.routers[r]
@@ -484,7 +503,7 @@ func (n *network) computeRoute(r int, vc *inVC) {
 		return
 	}
 	cands := n.nextPorts[r][dr]
-	vc.outPort = cands[f.pkt%len(cands)]
+	vc.outPort = cands[int(n.pktSalt[f.pkt])%len(cands)]
 }
 
 // routersSA performs separable switch allocation per router with fresh
@@ -547,7 +566,7 @@ func (n *network) forward(r, out, p, v int) {
 			n.ejectedFlits++
 		}
 		if f.last {
-			n.completePacket(f.pkt)
+			n.completePacket(f.pkt, r)
 		}
 	}
 	if f.last {
@@ -559,11 +578,12 @@ func (n *network) forward(r, out, p, v int) {
 
 // completePacket records the packet's latency and delivery, then frees
 // its table entry (LIFO freelist, matching the optimized allocator).
-func (n *network) completePacket(pkt int) {
+// r is the ejecting router, which keys the per-router latency sum.
+func (n *network) completePacket(pkt, r int) {
 	pi := n.pkts[pkt]
 	if pi.measured {
 		lat := float64(n.now + int64(n.cfg.PipeDelay+n.cfg.TermDelay) - pi.born)
-		n.latencySum += lat
+		n.latSumR[r] += lat
 		n.latHist.Observe(lat)
 		n.completed++
 	}
@@ -580,7 +600,7 @@ func (n *network) completePacket(pkt int) {
 func (n *network) inject(inj sim.Injector) {
 	for t := 0; t < n.T; t++ {
 		if len(n.srcQ[t]) < maxPendingPerTerm {
-			if dst, flits, ok := inj.Generate(t, n.now, n.rng); ok {
+			if dst, flits, ok := inj.Generate(t, n.now, n.termRng[t]); ok {
 				measured := n.now >= n.measStart && n.now < n.measEnd
 				if measured {
 					n.measuredBorn++
@@ -602,7 +622,7 @@ func (n *network) inject(inj sim.Injector) {
 		last := n.srcSent[t]+1 == pp.size
 		c.flits = append(c.flits, flitArrival{
 			f:  rflit{pkt: pkt, last: last},
-			vc: pkt % n.V,
+			vc: int(n.pktSalt[pkt]) % n.V,
 			at: n.now + int64(c.lat),
 		})
 		n.srcCredit[t]--
@@ -624,11 +644,14 @@ func (n *network) allocPacket(t int, pp pending) int {
 		n.freePkts = n.freePkts[:l-1]
 	} else {
 		n.pkts = append(n.pkts, rpkt{})
+		n.pktSalt = append(n.pktSalt, 0)
 		pkt = len(n.pkts) - 1
 	}
 	n.pkts[pkt] = rpkt{
 		src: t, dst: pp.dst, size: pp.size,
 		born: pp.born, measured: pp.measured,
 	}
+	n.pktSalt[pkt] = sim.PacketSalt(int32(t), n.termSeq[t])
+	n.termSeq[t]++
 	return pkt
 }

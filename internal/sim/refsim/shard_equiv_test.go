@@ -1,0 +1,176 @@
+package refsim
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"waferswitch/internal/sim"
+)
+
+// shardCounts is the shard dimension of the equivalence matrix: the
+// smallest non-trivial split, two primes that never divide the router
+// counts evenly, a power of two, and whatever this machine would
+// actually use. Counts above the router count clamp (every shard needs
+// a router), so the same list also covers the degenerate splits on the
+// small topologies.
+func shardCounts() []int {
+	counts := []int{2, 3, 4, 7}
+	gmp := runtime.GOMAXPROCS(0)
+	for _, c := range counts {
+		if c == gmp {
+			return counts
+		}
+	}
+	return append(counts, gmp)
+}
+
+// runSerialAndSharded runs the spec through the serial engine and the
+// sharded engine and fails the test on any observable difference:
+// Stats (struct equality, so every float bit matches), the latency
+// histogram including its float sum, and the delivery log compared
+// order-sensitively — the sharded merge must reconstruct the serial
+// completion order, not just the multiset.
+func runSerialAndSharded(t *testing.T, s Spec, shards int) (sim.Stats, sim.Stats) {
+	t.Helper()
+	top, err := s.Build()
+	if err != nil {
+		t.Fatalf("build %s: %v", s, err)
+	}
+	cfg := s.Config()
+	lat := sim.ConstantLatency(s.LinkLat)
+
+	serInj, err := s.Injector(top.ExternalPorts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, err := sim.Build(top, lat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser.RecordDeliveries()
+	serSt := ser.Run(serInj, s.Load)
+
+	shInj, err := s.Injector(top.ExternalPorts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shn, err := sim.Build(top, lat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shn.RecordDeliveries()
+	shSt, err := shn.RunSharded(shInj, s.Load, shards)
+	if err != nil {
+		t.Fatalf("RunSharded(%d) %s: %v", shards, s, err)
+	}
+
+	if shSt != serSt {
+		t.Errorf("stats diverge at shards=%d:\n  serial  %+v\n  sharded %+v\nspec: %s", shards, serSt, shSt, s)
+	}
+	serH, shH := ser.LatencyHistogram(), shn.LatencyHistogram()
+	if !shH.Equal(&serH) {
+		t.Errorf("latency histograms diverge at shards=%d: serial n=%d sum=%g min=%d max=%d, sharded n=%d sum=%g min=%d max=%d\nspec: %s",
+			shards, serH.Count(), serH.Sum(), serH.Min(), serH.Max(),
+			shH.Count(), shH.Sum(), shH.Min(), shH.Max(), s)
+	}
+	sd, od := shn.Deliveries(), ser.Deliveries()
+	if len(sd) != len(od) {
+		t.Errorf("delivery counts diverge at shards=%d: serial %d, sharded %d\nspec: %s", shards, len(od), len(sd), s)
+	} else {
+		for i := range od {
+			if od[i] != sd[i] {
+				t.Errorf("delivery log diverges at index %d, shards=%d: serial %+v, sharded %+v\nspec: %s",
+					i, shards, od[i], sd[i], s)
+				break
+			}
+		}
+	}
+	return serSt, shSt
+}
+
+// TestShardEquivalence is the tentpole matrix: every topology family at
+// loads below the knee, at the knee, and past saturation, against every
+// shard count in shardCounts. Serial Run is the specification; the
+// sharded engine must be bit-identical at every point.
+func TestShardEquivalence(t *testing.T) {
+	base := Spec{
+		Pattern: "uniform",
+		LinkLat: 2, VCs: 2, Buf: 8, Pkt: 2,
+		RCI: 1, RCO: 1, Pipe: 1, Term: 1,
+		Warmup: 40, Measure: 120, Seed: 42,
+	}
+	families := []string{"clos", "mesh", "fbfly", "dfly"}
+	loads := []float64{0.15, 0.45, 0.9}
+	for _, fam := range families {
+		for _, load := range loads {
+			for _, sc := range shardCounts() {
+				s := base
+				s.Family = fam
+				s.Size = 1
+				s.Load = load
+				t.Run(fmt.Sprintf("%s/load=%g/shards=%d", fam, load, sc), func(t *testing.T) {
+					serSt, _ := runSerialAndSharded(t, s, sc)
+					if serSt.Completed == 0 {
+						t.Fatalf("spec %s completed no packets; test is vacuous", s)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestShardEquivalenceOracle closes the triangle: for each family the
+// spec's own Diff runs reference, serial and sharded engines and
+// requires all three to agree — the sharded engine is checked against
+// the independent dense oracle, not only against the code it was
+// derived from.
+func TestShardEquivalenceOracle(t *testing.T) {
+	for _, fam := range []string{"clos", "mesh", "fbfly", "dfly"} {
+		s := Spec{
+			Family: fam, Size: 1, Pattern: "tornado",
+			LinkLat: 2, VCs: 4, Buf: 8, Pkt: 2,
+			RCI: 1, RCO: 1, Pipe: 1, Term: 1,
+			Warmup: 40, Measure: 120, Seed: 7, Load: 0.6,
+			Shards: 3,
+		}
+		t.Run(fam, func(t *testing.T) {
+			rep, err := s.Diff()
+			if err != nil {
+				t.Fatalf("diff %s: %v", s, err)
+			}
+			if !rep.OK() {
+				t.Fatalf("three-way divergence:\n%s", rep.Summary())
+			}
+		})
+	}
+}
+
+// TestShardEquivalenceSaturated holds a saturated clos under load for a
+// long window with a short drain budget, sharded four ways: the run
+// must end saturated (not drained) with identical stranded counts — the
+// regime where the boundary mailboxes carry the most traffic and any
+// lost or duplicated boundary event shows up as a flit-conservation
+// mismatch.
+func TestShardEquivalenceSaturated(t *testing.T) {
+	s := Spec{Family: "clos", Size: 0, Pattern: "uniform", LinkLat: 2,
+		VCs: 4, Buf: 8, Pkt: 2, RCI: 2, RCO: 1, Pipe: 1, Term: 2,
+		Warmup: 100, Measure: 4000, Drain: 300, Seed: 4242, Load: 0.95}
+	serSt, shSt := runSerialAndSharded(t, s, 4)
+	if serSt.Drained || shSt.Drained {
+		t.Fatalf("saturation case drained; test is vacuous (serial %+v, sharded %+v)", serSt, shSt)
+	}
+}
+
+// TestShardEquivalenceDegenerate pins the clamping and delegation
+// edges: more shards than routers clamps to one router per shard, and
+// shard counts <= 1 delegate to the serial engine.
+func TestShardEquivalenceDegenerate(t *testing.T) {
+	s := Spec{Family: "mesh", Size: 0, Pattern: "uniform", LinkLat: 1,
+		VCs: 2, Buf: 6, Pkt: 2, RCI: 1, RCO: 1, Pipe: 1, Term: 1,
+		Warmup: 30, Measure: 100, Seed: 9, Load: 0.3}
+	// mesh size 0 is 2x2: 11 shards must clamp to 4.
+	runSerialAndSharded(t, s, 11)
+	runSerialAndSharded(t, s, 1)
+	runSerialAndSharded(t, s, 0)
+}

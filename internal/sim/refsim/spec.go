@@ -32,6 +32,11 @@ type Spec struct {
 
 	Seed int64
 	Load float64 // offered, flits/terminal/cycle
+
+	// Shards > 1 adds a third run to Diff: the sharded engine
+	// (RunSharded) on that many shards, required to match the serial
+	// optimized run bit for bit. 0 and 1 mean serial only.
+	Shards int
 }
 
 // Families and patterns a Spec can name, in the order raw fuzz bytes
@@ -75,10 +80,10 @@ func SpecFromRaw(family, size, pattern, link, vcs, buf, pkt, rci, rco, pipe, ter
 // space-separated key=value pairs, parseable by ParseSpec.
 func (s Spec) String() string {
 	return fmt.Sprintf(
-		"family=%s size=%d pattern=%s link=%d vcs=%d buf=%d pkt=%d rci=%d rco=%d pipe=%d term=%d warmup=%d measure=%d drain=%d seed=%d load=%g",
+		"family=%s size=%d pattern=%s link=%d vcs=%d buf=%d pkt=%d rci=%d rco=%d pipe=%d term=%d warmup=%d measure=%d drain=%d seed=%d load=%g shards=%d",
 		s.Family, s.Size, s.Pattern, s.LinkLat, s.VCs, s.Buf, s.Pkt,
 		s.RCI, s.RCO, s.Pipe, s.Term, s.Warmup, s.Measure, s.Drain,
-		s.Seed, s.Load)
+		s.Seed, s.Load, s.Shards)
 }
 
 // ParseSpec parses the String form back into a Spec. Unknown keys are
@@ -125,6 +130,8 @@ func ParseSpec(in string) (Spec, error) {
 			s.Seed, err = strconv.ParseInt(val, 10, 64)
 		case "load":
 			s.Load, err = strconv.ParseFloat(val, 64)
+		case "shards":
+			s.Shards, err = strconv.Atoi(val)
 		default:
 			return s, fmt.Errorf("refsim: unknown spec key %q", key)
 		}
@@ -267,7 +274,9 @@ func (r *DiffReport) Summary() string {
 // and float sums), and the delivered-packet multiset. The optimized run
 // also carries the runtime invariant checker, so a diff both
 // cross-checks the implementations against each other and the optimized
-// one against the specification's conservation laws.
+// one against the specification's conservation laws. When Shards > 1 a
+// third run — the sharded engine on that many shards — must match the
+// serial optimized run bit for bit, including the delivery log's order.
 func (s Spec) Diff() (*DiffReport, error) {
 	top, err := s.Build()
 	if err != nil {
@@ -319,6 +328,49 @@ func (s Spec) Diff() (*DiffReport, error) {
 	}
 	if d := diffDeliveries(n.Deliveries(), ref.Deliveries); d != "" {
 		rep.Divergences = append(rep.Divergences, d)
+	}
+	if s.Shards > 1 {
+		shInj, err := s.Injector(top.ExternalPorts())
+		if err != nil {
+			return nil, err
+		}
+		sn, err := sim.Build(top, lat, cfg)
+		if err != nil {
+			return nil, err
+		}
+		sn.RecordDeliveries()
+		shStats, err := sn.RunSharded(shInj, s.Load, s.Shards)
+		if err != nil {
+			return nil, err
+		}
+		if shStats != rep.Opt {
+			rep.Divergences = append(rep.Divergences, fmt.Sprintf(
+				"sharded stats differ (shards=%d):\n  serial  %+v\n  sharded %+v", s.Shards, rep.Opt, shStats))
+		}
+		shHist := sn.LatencyHistogram()
+		if !shHist.Equal(&optHist) {
+			rep.Divergences = append(rep.Divergences, fmt.Sprintf(
+				"sharded latency histogram differs (shards=%d): serial n=%d sum=%g min=%d max=%d, sharded n=%d sum=%g min=%d max=%d",
+				s.Shards,
+				optHist.Count(), optHist.Sum(), optHist.Min(), optHist.Max(),
+				shHist.Count(), shHist.Sum(), shHist.Min(), shHist.Max()))
+		}
+		// The sharded merge reconstructs the serial log exactly, so this
+		// comparison is order-sensitive, not just multiset equality.
+		sd, od := sn.Deliveries(), n.Deliveries()
+		if len(sd) != len(od) {
+			rep.Divergences = append(rep.Divergences, fmt.Sprintf(
+				"sharded delivery counts differ (shards=%d): serial %d, sharded %d", s.Shards, len(od), len(sd)))
+		} else {
+			for i := range od {
+				if od[i] != sd[i] {
+					rep.Divergences = append(rep.Divergences, fmt.Sprintf(
+						"sharded delivery log differs at index %d (shards=%d): serial %+v, sharded %+v",
+						i, s.Shards, od[i], sd[i]))
+					break
+				}
+			}
+		}
 	}
 	return rep, nil
 }

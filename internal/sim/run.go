@@ -167,7 +167,15 @@ func (n *Network) Run(inj Injector, offered float64) Stats {
 		Cycles:    n.now,
 	}
 	if n.completed > 0 {
-		st.AvgLatency = n.latencySum / float64(n.completed)
+		// Canonical latency sum: the ascending-router fold of latSumR,
+		// not the completion-order running sum — the fold's float
+		// addition order is the same no matter how the cycle loop was
+		// partitioned, so serial and sharded runs (and the reference
+		// simulator) agree bitwise.
+		sum := n.foldLatSum()
+		n.latencySum = sum
+		n.latHist.SetSum(sum)
+		st.AvgLatency = sum / float64(n.completed)
 		st.P50Latency = n.latHist.Percentile(0.50)
 		st.P99Latency = n.latHist.Percentile(0.99)
 		st.P999Latency = n.latHist.Percentile(0.999)
@@ -192,6 +200,17 @@ func (n *Network) Run(inj Injector, offered float64) Stats {
 		}
 	}
 	return st
+}
+
+// foldLatSum folds the per-router latency sums in ascending router
+// order — the canonical float-addition order shared by the serial run,
+// every shard-count variant, and the reference simulator.
+func (n *Network) foldLatSum() float64 {
+	var sum float64
+	for r := 0; r < n.R; r++ {
+		sum += n.latSumR[r]
+	}
+	return sum
 }
 
 // percentile returns the p-quantile of sorted values using nearest-rank
@@ -240,7 +259,7 @@ func (n *Network) step(inj Injector) {
 // routerOcc is exactly the per-port sum the dense loop used to compute.
 func (n *Network) recordOccupancy() {
 	n.probe.Cycles++
-	for r := 0; r < n.R; r++ {
+	for r := n.rLo; r < n.rHi; r++ {
 		occ := int64(n.routerOcc[r])
 		rc := &n.probe.Routers[r]
 		rc.OccSum += occ
@@ -346,7 +365,7 @@ func (n *Network) arrivals() {
 // cross-router effects (flits and credits on channel rings) are not
 // consumed until a later cycle's arrivals.
 func (n *Network) routers() {
-	for r := 0; r < n.R; r++ {
+	for r := n.rLo; r < n.rHi; r++ {
 		if n.routerOcc[r] == 0 {
 			continue // nothing buffered, nothing to route, allocate or forward
 		}
@@ -555,7 +574,10 @@ func (n *Network) computeRoute(r int, gv int32) {
 		return
 	}
 	cands := n.nextFlat[r*n.R+dr]
-	n.vcOutPort[gv] = cands[int(f.pkt)%len(cands)]
+	// Lane choice keys off the packet's salt, not its table index: the
+	// salt is a pure function of (source terminal, sequence), so the
+	// route is identical under any packet-id allocator (see rng.go).
+	n.vcOutPort[gv] = cands[int(n.pktSalt[f.pkt])%len(cands)]
 }
 
 // routerSA performs separable switch allocation for router r and
@@ -764,6 +786,11 @@ func (n *Network) forward(r, out, winnerVC, inPort int) {
 		// same channel this cycle (the slot itself was drained by this
 		// cycle's arrivals, so only this cycle's producers are present).
 		n.ringSlab[n.classSlotBase[lp&0x7fffffff]+int32(lp>>31)] |= evCred
+	} else if lp < -1 {
+		// The feeding channel crosses a shard cut: the credit belongs to
+		// the source shard's credit ring — buffer it for the next epoch
+		// barrier (see shard.go; lp encodes the boundary-ref index).
+		n.bndPush(lp, evCred)
 	}
 	if n.probe != nil {
 		n.probe.Routers[r].Flits++
@@ -788,6 +815,20 @@ func (n *Network) forward(r, out, winnerVC, inPort int) {
 		if n.tline != nil {
 			n.tlChanFlits[n.outCh[o]]++
 		}
+	} else if lp < -1 {
+		// The outgoing channel crosses a shard cut: buffer the packed
+		// flit event for the destination shard's ring. Credit accounting
+		// stays local — the upstream end of the channel (and so the
+		// credit state) is owned by this shard.
+		n.bndPush(lp, packEv(f.pkt, f.last, n.vcOutVC[gv]))
+		c := n.outCredits[o] - 1
+		n.outCredits[o] = c
+		if c == 0 {
+			n.creditM[r] &^= uint64(1) << uint32(out)
+		}
+		if n.probe != nil {
+			n.probe.Channels[n.outCh[o]].Flits++
+		}
 	} else {
 		// Terminal ejection: the flit leaves through the egress pipeline
 		// and the host link.
@@ -808,7 +849,7 @@ func (n *Network) forward(r, out, winnerVC, inPort int) {
 			n.chk.noteForward(n.now, f, true)
 		}
 		if f.last {
-			n.completePacket(f.pkt)
+			n.completePacket(f.pkt, r)
 		}
 	}
 	if n.chk != nil && n.outCh[o] >= 0 {
@@ -831,8 +872,9 @@ func (n *Network) forward(r, out, winnerVC, inPort int) {
 
 // completePacket records the packet's latency (including the egress
 // pipeline and host link it still has to traverse) and frees its table
-// entry.
-func (n *Network) completePacket(pkt int32) {
+// entry. r is the ejecting router, which keys the per-router latency
+// sum (see latSumR).
+func (n *Network) completePacket(pkt int32, r int) {
 	pi := &n.pkts[pkt]
 	lat := float64(n.now + int64(n.cfg.PipeDelay+n.cfg.TermDelay) - pi.born)
 	if n.at != nil {
@@ -840,8 +882,10 @@ func (n *Network) completePacket(pkt int32) {
 	}
 	if pi.measured {
 		n.latencySum += lat
+		n.latSumR[r] += lat
 		n.latHist.Observe(lat)
 		n.completed++
+		n.lastDone = n.now
 	}
 	if n.tline != nil {
 		// The timeline is time-domain instrumentation: every retired
@@ -859,13 +903,16 @@ func (n *Network) completePacket(pkt int32) {
 		})
 	}
 	n.freePkts = append(n.freePkts, pkt)
+	if n.pool != nil && len(n.freePkts) > poolSpillAt {
+		n.freePkts = n.pool.spill(n.freePkts)
+	}
 }
 
 // inject generates new packets and pushes source flits into the terminal
 // channels, one flit per terminal per cycle, credit permitting.
 func (n *Network) inject(inj Injector) {
 	srcQ := n.srcQ
-	for t := 0; t < n.T; t++ {
+	for t := n.tLo; t < n.tHi; t++ {
 		q := srcQ[t]
 		head := n.srcQHead[t]
 		// Compact the source queue before it would reallocate: a backlog
@@ -886,7 +933,7 @@ func (n *Network) inject(inj Injector) {
 		// time is part of their latency, and a saturated network whose
 		// backlog never injects must not report a clean drain.
 		if len(q)-int(head) < maxPendingPerTerm {
-			if dst, flits, ok := inj.Generate(t, n.now, n.rng); ok {
+			if dst, flits, ok := inj.Generate(t, n.now, n.termRng[t]); ok {
 				measured := n.now >= n.measStart && n.now < n.measEnd
 				if measured {
 					n.measuredBorn++
@@ -905,7 +952,7 @@ func (n *Network) inject(inj Injector) {
 		sent := n.srcSent[t]
 		if sent == 0 {
 			n.curPkt[t] = n.allocPacket(t, pp)
-			n.curVC[t] = int32(int(n.curPkt[t]) % n.V)
+			n.curVC[t] = int32(int(n.pktSalt[n.curPkt[t]]) % n.V)
 		}
 		pkt := n.curPkt[t]
 		lp := n.termLP[t]
@@ -943,6 +990,12 @@ func (n *Network) inject(inj Injector) {
 // allocPacket creates a packet-table entry for the packet about to be
 // injected by terminal t.
 func (n *Network) allocPacket(t int, pp *pendingPkt) int32 {
+	if len(n.freePkts) == 0 && n.pool != nil {
+		// Sharded run: the packet table is preallocated and shared, ids
+		// come from the pool in batches (see shard.go). The salt makes
+		// which id a packet lands on unobservable, so any id works.
+		n.freePkts = n.pool.refill(n.freePkts)
+	}
 	var pkt int32
 	if l := len(n.freePkts); l > 0 {
 		pkt = n.freePkts[l-1]
@@ -950,6 +1003,7 @@ func (n *Network) allocPacket(t int, pp *pendingPkt) int32 {
 	} else {
 		n.pkts = append(n.pkts, packetInfo{})
 		n.pktRoute = append(n.pktRoute, 0)
+		n.pktSalt = append(n.pktSalt, 0)
 		pkt = int32(len(n.pkts) - 1)
 	}
 	n.pkts[pkt] = packetInfo{
@@ -957,6 +1011,8 @@ func (n *Network) allocPacket(t int, pp *pendingPkt) int32 {
 		born: pp.born, measured: pp.measured,
 	}
 	n.pktRoute[pkt] = n.destRouter[pp.dst] | n.egressPort[pp.dst]<<16
+	n.pktSalt[pkt] = PacketSalt(int32(t), n.termSeq[t])
+	n.termSeq[t]++
 	if n.chk != nil {
 		n.chk.noteAlloc(pkt, n.now)
 	}

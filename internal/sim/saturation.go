@@ -22,6 +22,11 @@ type SaturationSearchOptions struct {
 	// every probed point, so the saturated half of the bracket costs a
 	// fraction of its drain budget (see AbortOptions).
 	Abort *AbortOptions
+	// Shards, when > 1, runs every probed point through the sharded
+	// engine (Network.RunSharded). Per-point results — and therefore the
+	// bisection path and the returned bracket — are bit-identical to the
+	// serial search.
+	Shards int
 }
 
 // SaturationResult is the outcome of a bisection saturation search.
@@ -94,7 +99,14 @@ func FindSaturation(build Builder, injf InjectorFactory, opt SaturationSearchOpt
 		if err != nil {
 			return Stats{}, err
 		}
-		st := n.Run(inj, load)
+		var st Stats
+		if opt.Shards > 1 {
+			if st, err = n.RunSharded(inj, load, opt.Shards); err != nil {
+				return Stats{}, err
+			}
+		} else {
+			st = n.Run(inj, load)
+		}
 		res.Evaluations++
 		res.Points = append(res.Points, SweepPoint{Stats: st})
 		if st.Accepted > res.SaturationThroughput {

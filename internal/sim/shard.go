@@ -1,0 +1,602 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"runtime/pprof"
+	"sort"
+	"strconv"
+	"sync"
+
+	"waferswitch/internal/obs"
+)
+
+// Sharded single-sim execution: one simulation partitioned spatially
+// across goroutines, bit-identical to the serial Run (see DESIGN §13).
+//
+// The partitioner (partition.go) assigns each shard a contiguous
+// router range and the matching terminal range, so every shard runs
+// the unmodified serial cycle loop (step/arrivals/routers/inject) over
+// narrowed bounds. Almost all simulator state is written by exactly
+// one shard (VC queues, port state, credits, source queues are all
+// router- or terminal-indexed), so the per-shard Network copies share
+// those backing arrays. Only channel events cross a cut, and channel
+// latency gives conservative lookahead: an event produced at cycle t
+// on a latency-L channel is consumed at t+L, so shards can run E =
+// min(boundary L) cycles between barriers without ever needing a
+// remote event mid-epoch.
+//
+// A boundary channel's serial ring would be written by two shards (the
+// source writes flits, the destination writes returning credits), so
+// it is split: the destination shard owns a flit ring, the source
+// shard owns a credit ring — the serial layout's flit/credit word
+// sharing was only a storage optimization. Producers reach local rings
+// through the usual packed feedLP/outLP offsets; boundary producers
+// get a sentinel offset (lp <= -2) that indexes a bndRef, which
+// buffers the event — with its final ring-slab index precomputed from
+// the consumer shard's layout constants — into an outbox. At each
+// barrier the coordinator drains every outbox into the owning shard's
+// ring slab in fixed (consumer, producer, production order), giving a
+// deterministic boundary commit order; determinism of everything else
+// follows from arrivals' documented commutativity (each channel feeds
+// exactly one port) and the per-terminal RNG / packet-salt refactor
+// (rng.go) that makes traffic and routing independent of global scan
+// and allocation order.
+
+// mbEntry is one boundary event: the packed channel-event word and its
+// precomputed index into the consumer shard's ring slab.
+type mbEntry struct {
+	idx int32
+	w   uint64
+}
+
+// outbox buffers one producer shard's boundary events for one consumer
+// shard between barriers. The slice is reset, not freed, each epoch —
+// after warmup its capacity stabilizes and the steady state allocates
+// nothing.
+type outbox struct {
+	ents []mbEntry
+}
+
+// bndRef is a producer-side boundary redirect: the consumer shard's
+// ring layout constants for one boundary channel, plus the outbox the
+// event goes to. forward() reaches it through a sentinel lp <= -2
+// (boundary ref index -(lp+2)).
+type bndRef struct {
+	off, cnt, pos int32
+	lat           int32
+	box           *outbox
+}
+
+// bndPush buffers a boundary channel event produced this cycle. The
+// slot index mirrors the serial producer expression classOff +
+// (now%lat)*cnt + pos: the event matures when the consumer's arrivals
+// scan next reaches that slot, exactly lat cycles from now.
+func (n *Network) bndPush(lp int64, w uint64) {
+	b := &n.bnd[-(lp + 2)]
+	idx := b.off + int32(n.now%int64(b.lat))*b.cnt + b.pos
+	b.box.ents = append(b.box.ents, mbEntry{idx: idx, w: w})
+}
+
+// pktPool is the shared packet-id reserve for sharded runs. The packet
+// table is preallocated to the live-packet bound (every live packet
+// holds at least one flit in some ring or VC buffer, so live packets
+// never exceed total flit capacity); shards draw ids in batches from
+// the pool and spill surplus back, so the shared table never grows and
+// the steady state takes the mutex once per ~poolBatch packets.
+type pktPool struct {
+	mu   sync.Mutex
+	free []int32
+}
+
+const poolBatch = 256
+
+// poolSpillAt bounds a shard's local freelist; above it a batch goes
+// back to the pool. The pool's slack is sized so that even with every
+// shard's freelist full the pool can always satisfy a refill.
+const poolSpillAt = 3 * poolBatch
+
+func (p *pktPool) refill(dst []int32) []int32 {
+	p.mu.Lock()
+	take := poolBatch
+	if take > len(p.free) {
+		take = len(p.free)
+	}
+	if take == 0 {
+		p.mu.Unlock()
+		// Unreachable by construction: the table is sized to the live
+		// bound plus every shard's maximum local holding. Failing loudly
+		// beats racing on a shared append.
+		panic("sim: sharded packet pool exhausted (live-packet bound violated)")
+	}
+	dst = append(dst, p.free[len(p.free)-take:]...)
+	p.free = p.free[:len(p.free)-take]
+	p.mu.Unlock()
+	return dst
+}
+
+func (p *pktPool) spill(src []int32) []int32 {
+	cut := len(src) - poolBatch
+	p.mu.Lock()
+	p.free = append(p.free, src[cut:]...)
+	p.mu.Unlock()
+	return src[:cut]
+}
+
+// ringRef locates one ring during sharded layout construction: the
+// owning shard, its latency class there, and its stripe position.
+type ringRef struct {
+	shard, k, pos int32
+}
+
+// RunSharded is Run partitioned across shards goroutines, bit-identical
+// to the serial Run for any shard count: same Stats, same latency
+// histogram (including the float sum), same delivery log. Shard counts
+// <= 1 (after clamping to the router count) delegate to Run. Observers
+// that need a global cycle-by-cycle view — the timeline sampler, the
+// flight recorder, the invariant checker, congestion attribution, and
+// convergence-bounded measurement — are not supported and return an
+// error naming the serial path; probes, the early-abort detector and
+// delivery recording work shard-locally with deterministic merges.
+func (n *Network) RunSharded(inj Injector, offered float64, shards int) (Stats, error) {
+	switch {
+	case n.tline != nil:
+		return Stats{}, fmt.Errorf("sim: sharded run does not support the timeline sampler; run serial (shards=1)")
+	case n.tr != nil:
+		return Stats{}, fmt.Errorf("sim: sharded run does not support the flight recorder; run serial (shards=1)")
+	case n.chk != nil:
+		return Stats{}, fmt.Errorf("sim: sharded run does not support the invariant checker; run serial (shards=1)")
+	case n.at != nil:
+		return Stats{}, fmt.Errorf("sim: sharded run does not support congestion attribution; run serial (shards=1)")
+	case n.cfg.ConvergeRelErr > 0:
+		return Stats{}, fmt.Errorf("sim: sharded run does not support convergence-bounded measurement; run serial (shards=1)")
+	}
+	if shards > n.R {
+		shards = n.R // every shard needs at least one router
+	}
+	if shards <= 1 {
+		return n.Run(inj, offered), nil
+	}
+	S := shards
+	cfg := n.cfg
+	n.measStart = int64(cfg.WarmupCycles)
+	n.measEnd = int64(cfg.WarmupCycles + cfg.MeasureCycles)
+	drain := int64(cfg.DrainCycles)
+	if drain <= 0 {
+		drain = 10 * int64(cfg.MeasureCycles)
+	}
+
+	cuts := n.partitionRouters(S)
+	ts := n.termStarts()
+	shardOf := make([]int32, n.R)
+	for s := 0; s < S; s++ {
+		for r := cuts[s]; r < cuts[s+1]; r++ {
+			shardOf[r] = int32(s)
+		}
+	}
+
+	// Ring placement: every channel gets a flit ring in its destination
+	// shard; boundary channels additionally get a credit ring in their
+	// source shard (interior channels keep the serial flit/credit word
+	// sharing). Channels are visited in index order, so stripe positions
+	// — and with them the whole layout — are deterministic.
+	nc := len(n.channels)
+	latValsS := make([][]int32, S)
+	hotS := make([][][]chanHot, S)
+	addRing := func(s int32, lat int32, h chanHot) ringRef {
+		k := int32(-1)
+		for i, lv := range latValsS[s] {
+			if lv == lat {
+				k = int32(i)
+				break
+			}
+		}
+		if k < 0 {
+			k = int32(len(latValsS[s]))
+			latValsS[s] = append(latValsS[s], lat)
+			hotS[s] = append(hotS[s], nil)
+		}
+		hotS[s][k] = append(hotS[s][k], h)
+		return ringRef{shard: s, k: k, pos: int32(len(hotS[s][k]) - 1)}
+	}
+	flitRef := make([]ringRef, nc)
+	credRef := make([]ringRef, nc)
+	nBoundary := 0
+	epoch := n.measEnd // no boundary channels: sync only at stop events
+	for ci := range n.channels {
+		c := &n.channels[ci]
+		ds := shardOf[c.dstRouter]
+		ss := ds
+		if c.srcRouter >= 0 {
+			ss = shardOf[c.srcRouter]
+		}
+		srcR := c.srcRouter
+		if c.srcTerm >= 0 {
+			srcR = -(c.srcTerm + 1)
+		}
+		h := chanHot{dstR: c.dstRouter, dstP: c.dstPort, srcR: srcR, srcP: c.srcPort}
+		flitRef[ci] = addRing(ds, c.lat, h)
+		if ss == ds {
+			credRef[ci] = ringRef{shard: -1}
+			continue
+		}
+		credRef[ci] = addRing(ss, c.lat, h)
+		nBoundary++
+		if int64(c.lat) < epoch {
+			epoch = int64(c.lat)
+		}
+	}
+	if epoch < 1 {
+		epoch = 1
+	}
+	// Per-shard slot-major layout, mirroring Build's slab pass.
+	offS := make([][]int32, S)
+	cntS := make([][]int32, S)
+	slabLen := make([]int32, S)
+	for s := 0; s < S; s++ {
+		offS[s] = make([]int32, len(latValsS[s]))
+		cntS[s] = make([]int32, len(latValsS[s]))
+		total := int32(0)
+		for k, lv := range latValsS[s] {
+			offS[s][k] = total
+			cntS[s][k] = int32(len(hotS[s][k]))
+			total += lv * cntS[s][k]
+		}
+		slabLen[s] = total
+	}
+
+	// Shared preallocated packet table sized to the live-packet bound:
+	// total flit capacity (ring slots plus credit-bounded VC buffers)
+	// plus every shard's maximum local freelist holding.
+	flitCap := 0
+	for i := range n.channels {
+		flitCap += int(n.channels[i].lat)
+	}
+	flitCap += n.R * n.maxP * int(n.bufPP)
+	origLen := len(n.pkts)
+	capTotal := origLen + flitCap + S*(poolSpillAt+poolBatch) + 64
+	for len(n.pkts) < capTotal {
+		n.pkts = append(n.pkts, packetInfo{})
+		n.pktRoute = append(n.pktRoute, 0)
+		n.pktSalt = append(n.pktSalt, 0)
+	}
+	pool := &pktPool{free: n.freePkts}
+	for id := capTotal - 1; id >= origLen; id-- {
+		pool.free = append(pool.free, int32(id))
+	}
+	n.freePkts = nil
+
+	// Per-shard Network copies: shared backing for all router/terminal-
+	// indexed state (disjoint writes by ownership), fresh copies of the
+	// ring layout, scratch, counters and observers.
+	boxes := make([][]outbox, S)
+	for s := range boxes {
+		boxes[s] = make([]outbox, S)
+	}
+	nets := make([]*Network, S)
+	for s := 0; s < S; s++ {
+		sh := new(Network)
+		*sh = *n
+		sh.rLo, sh.rHi = cuts[s], cuts[s+1]
+		sh.tLo, sh.tHi = ts[cuts[s]], ts[cuts[s+1]]
+		sh.latVals = latValsS[s]
+		sh.classCnt = cntS[s]
+		sh.classOff = offS[s]
+		sh.classHot = hotS[s]
+		sh.classSlotBase = make([]int32, len(latValsS[s]))
+		sh.ringSlab = make([]uint64, slabLen[s])
+		sh.npRot = make([]int32, len(n.npVals))
+		sh.saWinner = make([]int32, n.maxP)
+		sh.saWinnerIn = make([]int32, n.maxP)
+		sh.saStamp = make([]int64, n.maxP)
+		sh.saClock = 0
+		sh.now = 0
+		sh.latHist = obs.Histogram{}
+		sh.latencySum = 0
+		sh.completed, sh.measuredBorn = 0, 0
+		sh.ejectedFlits, sh.lastDone = 0, 0
+		sh.deliveries = nil
+		sh.freePkts = make([]int32, 0, poolSpillAt+poolBatch)
+		sh.pool = pool
+		sh.logger = nil
+		sh.ab = nil
+		if n.probe != nil {
+			sh.probe = n.NewProbe()
+		}
+		// Producer offsets against the shard-local layout, with boundary
+		// producers redirected to outboxes (lp <= -2, see bndPush).
+		lpLocal := func(ref ringRef) int64 {
+			return int64(ref.pos)<<31 | int64(ref.k)
+		}
+		var bnd []bndRef
+		addBnd := func(ref ringRef, lat int32) int64 {
+			bnd = append(bnd, bndRef{
+				off: offS[ref.shard][ref.k], cnt: cntS[ref.shard][ref.k],
+				pos: ref.pos, lat: lat, box: &boxes[s][ref.shard],
+			})
+			return -2 - int64(len(bnd)-1)
+		}
+		sh.feedLP = make([]int64, len(n.feedLP))
+		sh.outLP = make([]int64, len(n.outLP))
+		for i := range sh.feedLP {
+			sh.feedLP[i], sh.outLP[i] = -1, -1
+		}
+		for r := sh.rLo; r < sh.rHi; r++ {
+			for p := 0; p < n.maxP; p++ {
+				i := r*n.maxP + p
+				if ci := n.feedCh[i]; ci >= 0 {
+					if cr := credRef[ci]; cr.shard < 0 {
+						sh.feedLP[i] = lpLocal(flitRef[ci]) // interior: credit shares the flit ring word
+					} else {
+						sh.feedLP[i] = addBnd(cr, n.channels[ci].lat)
+					}
+				}
+				if ci := n.outCh[i]; ci >= 0 {
+					if fr := flitRef[ci]; int(fr.shard) == s {
+						sh.outLP[i] = lpLocal(fr)
+					} else {
+						sh.outLP[i] = addBnd(flitRef[ci], n.channels[ci].lat)
+					}
+				}
+			}
+		}
+		sh.termLP = make([]int64, len(n.termLP))
+		for t := sh.tLo; t < sh.tHi; t++ {
+			sh.termLP[t] = lpLocal(flitRef[n.termChIn[t]]) // terminal channels are always shard-interior
+		}
+		sh.bnd = bnd
+		nets[s] = sh
+	}
+
+	if n.logger != nil {
+		n.logger.Info("sim.run_sharded",
+			"routers", n.R, "terminals", n.T, "channels", nc,
+			"offered", offered, "shards", S, "epoch", epoch,
+			"boundary_channels", nBoundary, "probe", n.probe != nil)
+	}
+
+	// Persistent workers driven by per-segment channel sends; the
+	// send/Wait pair is the two-phase barrier (workers quiesce, then the
+	// coordinator owns all state until the next send).
+	type segment struct{ from, to int64 }
+	starts := make([]chan segment, S)
+	var wg sync.WaitGroup
+	for s := 0; s < S; s++ {
+		starts[s] = make(chan segment, 1)
+		go func(s int) {
+			pprof.Do(context.Background(), pprof.Labels("sim_shard", strconv.Itoa(s)), func(context.Context) {
+				sh := nets[s]
+				for seg := range starts[s] {
+					for sh.now = seg.from; sh.now < seg.to; sh.now++ {
+						sh.step(inj)
+					}
+					wg.Done()
+				}
+			})
+		}(s)
+	}
+	defer func() {
+		for s := range starts {
+			close(starts[s])
+		}
+	}()
+	runSeg := func(from, to int64) {
+		wg.Add(S)
+		for s := 0; s < S; s++ {
+			starts[s] <- segment{from, to}
+		}
+		wg.Wait()
+		// Boundary commit: drain every outbox into the owning shard's
+		// ring slab in fixed (consumer, producer, production) order.
+		// Each entry lands in a distinct slot (one event per channel per
+		// cycle, epoch <= every boundary latency), and the slot is
+		// provably zero — the consumer drained it at least a full lap
+		// ago — so the OR is exact.
+		for ds := 0; ds < S; ds++ {
+			slab := nets[ds].ringSlab
+			for ss := 0; ss < S; ss++ {
+				box := &boxes[ss][ds]
+				for _, e := range box.ents {
+					slab[e.idx] |= e.w
+				}
+				box.ents = box.ents[:0]
+			}
+		}
+	}
+	sumCounts := func() (comp, born int, eject int64) {
+		for s := 0; s < S; s++ {
+			comp += nets[s].completed
+			born += nets[s].measuredBorn
+			eject += nets[s].ejectedFlits
+		}
+		return
+	}
+
+	// Warmup + measurement: barriers at epoch multiples plus the abort
+	// detector's fixed check cadence (so its decisions see globally
+	// merged counters at exactly the serial check cycles).
+	var bts []int64
+	for t := epoch; t < n.measEnd; t += epoch {
+		bts = append(bts, t)
+	}
+	if n.ab != nil {
+		for t := n.measStart + n.ab.every; t < n.measEnd; t += n.ab.every {
+			bts = append(bts, t)
+		}
+	}
+	bts = append(bts, n.measEnd)
+	sort.Slice(bts, func(i, j int) bool { return bts[i] < bts[j] })
+	cur := int64(0)
+	for _, t := range bts {
+		if t <= cur {
+			continue
+		}
+		runSeg(cur, t)
+		cur = t
+		if n.ab != nil && cur > n.measStart && (cur-n.measStart)%n.ab.every == 0 {
+			_, _, n.ejectedFlits = sumCounts()
+			n.ab.measureCheck(n, offered)
+		}
+	}
+
+	// Drain, replicating the serial loop's stop conditions at barrier
+	// granularity. With a probe attached the drain runs cycle-by-cycle
+	// so it stops on exactly the serial cycle (no overshoot to perturb
+	// the per-cycle occupancy/stall counters); without one, overshoot
+	// past the last completion is invisible — every statistic below is
+	// either frozen at measEnd or reconstructed exactly (lastDone,
+	// delivery filter).
+	gComp, gBorn, _ := sumCounts()
+	deadline := n.measEnd + drain
+	aborted := false
+	if n.ab != nil && n.ab.armed && gComp < gBorn {
+		aborted = true
+	} else {
+		if n.ab != nil {
+			n.ab.startDrain(gComp)
+		}
+		ds := epoch
+		if n.probe != nil {
+			ds = 1
+		}
+		for cur = n.measEnd; gComp < gBorn && cur < deadline; {
+			next := cur + ds
+			if n.ab != nil {
+				if c := n.measEnd + ((cur-n.measEnd)/n.ab.every+1)*n.ab.every; c < next {
+					next = c
+				}
+			}
+			if next > deadline {
+				next = deadline
+			}
+			runSeg(cur, next)
+			cur = next
+			var gEject int64
+			gComp, gBorn, gEject = sumCounts()
+			if n.ab != nil && (cur-n.measEnd)%n.ab.every == 0 && gComp < gBorn {
+				n.now, n.completed, n.measuredBorn = cur, gComp, gBorn
+				n.ejectedFlits = gEject
+				if n.ab.drainCheck(n, deadline) {
+					aborted = true
+					break
+				}
+			}
+		}
+	}
+
+	// Reconstruct the serial stop cycle and fold the shard results back
+	// into this Network so Stats, Snapshot and Deliveries read exactly
+	// as after a serial Run.
+	var cycles int64
+	switch {
+	case aborted:
+		// Skip-drain abort leaves cur at measEnd; a drain-phase abort
+		// leaves it at the (barrier-exact) check cycle — both are the
+		// serial stop cycle.
+		cycles = cur
+	case gComp >= gBorn:
+		last := int64(0)
+		for s := 0; s < S; s++ {
+			if nets[s].lastDone > last {
+				last = nets[s].lastDone
+			}
+		}
+		cycles = last + 1
+		if cycles < n.measEnd {
+			cycles = n.measEnd
+		}
+	default:
+		cycles = deadline
+	}
+	gComp, gBorn, gEject := sumCounts()
+	n.completed, n.measuredBorn, n.ejectedFlits = gComp, gBorn, gEject
+	n.now = cycles
+	var hist obs.Histogram
+	for s := 0; s < S; s++ {
+		hist.Merge(&nets[s].latHist)
+	}
+	n.latHist = hist
+	if n.recordDeliv {
+		n.deliveries = mergeDeliveries(nets, cycles)
+	}
+	if n.probe != nil {
+		for s := 0; s < S; s++ {
+			if err := n.probe.Merge(nets[s].probe); err != nil {
+				return Stats{}, err
+			}
+		}
+		// Every shard counts every stepped cycle; the merged probe must
+		// count each cycle once, like the serial run.
+		n.probe.Cycles /= int64(S)
+	}
+
+	st := Stats{
+		Offered:   offered,
+		Accepted:  float64(n.ejectedFlits) / float64(n.T) / float64(n.measEnd-n.measStart),
+		Completed: n.completed,
+		Drained:   n.completed >= n.measuredBorn,
+		Aborted:   aborted,
+		Cycles:    n.now,
+	}
+	if n.completed > 0 {
+		sum := n.foldLatSum()
+		n.latencySum = sum
+		n.latHist.SetSum(sum)
+		st.AvgLatency = sum / float64(n.completed)
+		st.P50Latency = n.latHist.Percentile(0.50)
+		st.P99Latency = n.latHist.Percentile(0.99)
+		st.P999Latency = n.latHist.Percentile(0.999)
+	}
+	if n.logger != nil {
+		if st.Drained {
+			n.logger.Info("sim.drained",
+				"offered", offered, "accepted", st.Accepted,
+				"avg_latency", st.AvgLatency, "p99_latency", st.P99Latency,
+				"drain_cycles", n.now-n.measEnd, "completed", st.Completed)
+		} else {
+			n.logger.Warn("sim.saturated",
+				"offered", offered, "accepted", st.Accepted,
+				"completed", st.Completed, "born", n.measuredBorn,
+				"stranded", n.measuredBorn-st.Completed, "cycles", st.Cycles,
+				"aborted", st.Aborted)
+		}
+	}
+	return st, nil
+}
+
+// mergeDeliveries k-way merges the per-shard delivery logs by
+// (completion cycle, shard index). Within a cycle the serial run
+// records deliveries in ascending router order, shards cover ascending
+// router ranges and each preserves its local order, so the merge
+// reproduces the serial log exactly. Deliveries at or past the
+// reconstructed stop cycle come from barrier-granularity drain
+// overshoot — cycles the serial run never simulated — and are dropped;
+// cycle-prefix determinism makes that filter exact.
+func mergeDeliveries(nets []*Network, cycles int64) []Delivery {
+	total := 0
+	for _, sh := range nets {
+		total += len(sh.deliveries)
+	}
+	out := make([]Delivery, 0, total)
+	idx := make([]int, len(nets))
+	for {
+		best := -1
+		var bd int64
+		for s := range nets {
+			if idx[s] >= len(nets[s].deliveries) {
+				continue
+			}
+			if d := nets[s].deliveries[idx[s]].Done; best < 0 || d < bd {
+				best, bd = s, d
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		dv := nets[best].deliveries[idx[best]]
+		idx[best]++
+		if dv.Done < cycles {
+			out = append(out, dv)
+		}
+	}
+}

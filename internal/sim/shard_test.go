@@ -1,0 +1,348 @@
+package sim
+
+import (
+	"encoding/json"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"waferswitch/internal/obs"
+	"waferswitch/internal/ssc"
+	"waferswitch/internal/topo"
+	"waferswitch/internal/traffic"
+)
+
+func testMesh4x4(t *testing.T) *topo.Topology {
+	t.Helper()
+	chip, err := ssc.MustTH5(200).Deradix(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := topo.MeshTopo(4, 4, chip, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func shardTestConfig() Config {
+	return Config{
+		NumVCs: 2, BufPerPort: 8, PacketFlits: 2,
+		RCIngress: 1, RCOther: 1, PipeDelay: 1, TermDelay: 1,
+		WarmupCycles: 40, MeasureCycles: 120, Seed: 17,
+	}
+}
+
+// TestPartitionRoutersProperties checks the structural contract for
+// every feasible shard count on two topologies: cuts start at 0, end at
+// R, are strictly ascending (every shard owns at least one router), and
+// the matching terminal ranges tile [0, T).
+func TestPartitionRoutersProperties(t *testing.T) {
+	tops := map[string]*topo.Topology{
+		"clos": testClos(t),
+		"mesh": testMesh4x4(t),
+	}
+	for name, top := range tops {
+		n, err := Build(top, ConstantLatency(1), shardTestConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := n.termStarts()
+		if ts[0] != 0 || ts[n.R] != n.T {
+			t.Fatalf("%s: termStarts spans [%d,%d), want [0,%d)", name, ts[0], ts[n.R], n.T)
+		}
+		for r := 0; r < n.R; r++ {
+			if ts[r+1] < ts[r] {
+				t.Fatalf("%s: termStarts not monotone at router %d", name, r)
+			}
+		}
+		for shards := 1; shards <= n.R; shards++ {
+			cuts := n.partitionRouters(shards)
+			if len(cuts) != shards+1 || cuts[0] != 0 || cuts[shards] != n.R {
+				t.Fatalf("%s shards=%d: bad cut frame %v (R=%d)", name, shards, cuts, n.R)
+			}
+			for s := 0; s < shards; s++ {
+				if cuts[s+1] <= cuts[s] {
+					t.Fatalf("%s shards=%d: empty shard %d in cuts %v", name, shards, s, cuts)
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionRoutersMeshRowAligned pins the grid fast path: on a
+// row-major mesh with shards <= rows, every cut must fall on a row
+// boundary — the minimum-crossing split.
+func TestPartitionRoutersMeshRowAligned(t *testing.T) {
+	n, err := Build(testMesh4x4(t), ConstantLatency(1), shardTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 3, 4} {
+		for _, c := range n.partitionRouters(shards) {
+			if c%n.meshCols != 0 {
+				t.Errorf("shards=%d: cut %d not row-aligned (cols=%d)", shards, c, n.meshCols)
+			}
+		}
+	}
+}
+
+// TestRunShardedObserverErrors: observers that need a global
+// cycle-by-cycle view must be rejected with an error naming the serial
+// path, before any goroutine is spawned.
+func TestRunShardedObserverErrors(t *testing.T) {
+	top := testClos(t)
+	inj := RateInjector{Load: 0.1, Pattern: traffic.Uniform(top.ExternalPorts()), PacketFlits: 2}
+	cases := []struct {
+		name string
+		prep func(t *testing.T, n *Network)
+	}{
+		{"timeline", func(t *testing.T, n *Network) { n.AttachTimeline(obs.NewTimeline(16, 64)) }},
+		{"tracer", func(t *testing.T, n *Network) { n.Trace(obs.NewFlightRecorder(128)) }},
+		{"checker", func(t *testing.T, n *Network) {
+			if err := n.Check(CheckOptions{}); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"attribution", func(t *testing.T, n *Network) {
+			if err := n.AttachAttribution(n.NewAttribution()); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n, err := Build(top, ConstantLatency(1), shardTestConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.prep(t, n)
+			if _, err := n.RunSharded(inj, 0.1, 2); err == nil {
+				t.Fatalf("RunSharded accepted unsupported observer %q", tc.name)
+			} else if !strings.Contains(err.Error(), "shards=1") {
+				t.Fatalf("error %q does not name the serial path", err)
+			}
+		})
+	}
+	t.Run("convergence", func(t *testing.T) {
+		cfg := shardTestConfig()
+		cfg.ConvergeRelErr = 0.05
+		n, err := Build(top, ConstantLatency(1), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := n.RunSharded(inj, 0.1, 2); err == nil {
+			t.Fatal("RunSharded accepted convergence-bounded measurement")
+		}
+	})
+}
+
+// TestRunShardedProbeMerge: a probe attached to a sharded run must
+// report exactly the serial counters — per-router stalls and occupancy,
+// per-channel flits, injected/ejected totals and the cycle count —
+// after the deterministic shard merge.
+func TestRunShardedProbeMerge(t *testing.T) {
+	top := testClos(t)
+	cfg := shardTestConfig()
+	inj := RateInjector{Load: 0.4, Pattern: traffic.Uniform(top.ExternalPorts()), PacketFlits: 2}
+
+	ser, err := Build(top, ConstantLatency(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := ser.NewProbe()
+	if err := ser.AttachProbe(sp); err != nil {
+		t.Fatal(err)
+	}
+	serSt := ser.Run(inj, 0.4)
+
+	shn, err := Build(top, ConstantLatency(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp := shn.NewProbe()
+	if err := shn.AttachProbe(hp); err != nil {
+		t.Fatal(err)
+	}
+	shSt, err := shn.RunSharded(inj, 0.4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shSt != serSt {
+		t.Fatalf("stats diverge:\n  serial  %+v\n  sharded %+v", serSt, shSt)
+	}
+	if hp.Cycles != sp.Cycles || hp.Injected != sp.Injected || hp.Ejected != sp.Ejected {
+		t.Fatalf("probe totals diverge: serial cycles=%d inj=%d ej=%d, sharded cycles=%d inj=%d ej=%d",
+			sp.Cycles, sp.Injected, sp.Ejected, hp.Cycles, hp.Injected, hp.Ejected)
+	}
+	if !reflect.DeepEqual(hp.Routers, sp.Routers) {
+		for r := range sp.Routers {
+			if hp.Routers[r] != sp.Routers[r] {
+				t.Fatalf("router %d counters diverge: serial %+v, sharded %+v", r, sp.Routers[r], hp.Routers[r])
+			}
+		}
+	}
+	if !reflect.DeepEqual(hp.Channels, sp.Channels) {
+		for c := range sp.Channels {
+			if hp.Channels[c] != sp.Channels[c] {
+				t.Fatalf("channel %d counters diverge: serial %+v, sharded %+v", c, sp.Channels[c], hp.Channels[c])
+			}
+		}
+	}
+}
+
+// TestFindSaturationShardedByteIdentical: the bisection saturation
+// search with every probed point sharded four ways must return a
+// byte-identical result (same bracket, same evaluation path, same
+// per-point stats) as the serial search — with and without the
+// early-abort detector, i.e. against both the adaptive and the
+// exhaustive-drain configurations.
+func TestFindSaturationShardedByteIdentical(t *testing.T) {
+	build, injf := satMesh(t)
+	for _, abort := range []*AbortOptions{nil, {}} {
+		serial, err := FindSaturation(build, injf, SaturationSearchOptions{Hi: 0.4, Tol: 0.02, Abort: abort})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharded, err := FindSaturation(build, injf, SaturationSearchOptions{Hi: 0.4, Tol: 0.02, Abort: abort, Shards: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := json.Marshal(serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := json.Marshal(sharded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("abort=%v: sharded search diverged from serial\nserial  %s\nsharded %s", abort != nil, want, got)
+		}
+		if !serial.Saturated {
+			t.Fatalf("abort=%v: search did not saturate; test is vacuous", abort != nil)
+		}
+	}
+}
+
+// TestSweepShardedMatchesSerial: the sweep engine's Shards option must
+// not change any per-point stats or the aggregate histogram, and must
+// compose with parallel workers.
+func TestSweepShardedMatchesSerial(t *testing.T) {
+	top := testClos(t)
+	cfg := shardTestConfig()
+	build := func() (*Network, error) { return Build(top, ConstantLatency(1), cfg) }
+	injf := SyntheticInjector(traffic.Uniform(top.ExternalPorts()), cfg.PacketFlits)
+	loads := []float64{0.1, 0.4, 0.7}
+
+	serial, err := Sweep(build, injf, loads, SweepOptions{Workers: 1, Probe: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := Sweep(build, injf, loads, SweepOptions{Workers: 2, Shards: 3, Probe: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, hs := serial.Stats(), sharded.Stats()
+	for i := range ss {
+		if ss[i] != hs[i] {
+			t.Errorf("point %d diverges:\n  serial  %+v\n  sharded %+v", i, ss[i], hs[i])
+		}
+	}
+	want, err := json.Marshal(serial.Aggregate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(sharded.Aggregate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("aggregate snapshots diverge:\n  serial  %s\n  sharded %s", want, got)
+	}
+}
+
+// TestSweepShardedRejectsGlobalObservers: the sweep surfaces the
+// sharded engine's observer errors instead of silently running serial.
+func TestSweepShardedRejectsGlobalObservers(t *testing.T) {
+	top := testClos(t)
+	cfg := shardTestConfig()
+	build := func() (*Network, error) { return Build(top, ConstantLatency(1), cfg) }
+	injf := SyntheticInjector(traffic.Uniform(top.ExternalPorts()), cfg.PacketFlits)
+	if _, err := Sweep(build, injf, []float64{0.2}, SweepOptions{Shards: 2, TimelineInterval: 50}); err == nil {
+		t.Error("sweep with Shards and TimelineInterval did not error")
+	}
+	if _, err := Sweep(build, injf, []float64{0.2}, SweepOptions{Shards: 2, Attribution: true}); err == nil {
+		t.Error("sweep with Shards and Attribution did not error")
+	}
+}
+
+// TestRunShardedSteadyStateAllocs gates the sharded steady state's
+// zero-alloc contract. A whole-run benchmark cannot see it — setup
+// legitimately allocates the per-shard layouts, ring slabs and
+// outboxes — so this measures differentially: a run with 2400 extra
+// measurement cycles must not allocate meaningfully more than a short
+// one. The shared packet table is preallocated to the live-packet
+// bound, shard freelists are capacity-bounded, and outboxes stabilize
+// after warmup, so the only tolerated growth is the barrier-schedule
+// slice (amortized appends) and runtime-internal jitter.
+func TestRunShardedSteadyStateAllocs(t *testing.T) {
+	top := testClos(t)
+	inj := RateInjector{Load: 0.4, Pattern: traffic.Uniform(top.ExternalPorts()), PacketFlits: 2}
+	runAllocs := func(measure int) uint64 {
+		cfg := shardTestConfig()
+		cfg.MeasureCycles = measure
+		n, err := Build(top, ConstantLatency(1), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		if _, err := n.RunSharded(inj, 0.4, 4); err != nil {
+			t.Fatal(err)
+		}
+		runtime.ReadMemStats(&after)
+		return after.Mallocs - before.Mallocs
+	}
+	base, long := runAllocs(600), runAllocs(3000)
+	if extra := int64(long) - int64(base); extra > 128 {
+		t.Errorf("2400 extra steady-state cycles cost %d allocations (base run %d, long run %d); the sharded steady state must not allocate per cycle",
+			extra, base, long)
+	}
+}
+
+// TestRunShardedAbortEquivalence: with the early-abort detector armed,
+// a saturated sharded run must abort at exactly the serial check cycle
+// with identical Stats — the detector's decisions see globally merged
+// counters at the serial cadence.
+func TestRunShardedAbortEquivalence(t *testing.T) {
+	top := testClos(t)
+	cfg := shardTestConfig()
+	cfg.WarmupCycles, cfg.MeasureCycles = 100, 2000
+	inj := RateInjector{Load: 0.95, Pattern: traffic.Uniform(top.ExternalPorts()), PacketFlits: 2}
+
+	ser, err := Build(top, ConstantLatency(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser.SetAbort(&AbortOptions{})
+	serSt := ser.Run(inj, 0.95)
+
+	shn, err := Build(top, ConstantLatency(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shn.SetAbort(&AbortOptions{})
+	shSt, err := shn.RunSharded(inj, 0.95, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shSt != serSt {
+		t.Fatalf("aborted stats diverge:\n  serial  %+v\n  sharded %+v", serSt, shSt)
+	}
+	if !serSt.Aborted {
+		t.Fatalf("abort case did not abort; test is vacuous (stats %+v)", serSt)
+	}
+}

@@ -68,6 +68,14 @@ type SweepOptions struct {
 	// Results are identical for every value — each point's network is
 	// seeded by PointSeed and merged in point order after the barrier.
 	Workers int
+	// Shards, when > 1, runs every point through the sharded engine
+	// (Network.RunSharded) on that many shards instead of the serial
+	// loop. Results are bit-identical to Shards <= 1; it composes with
+	// Workers (points in parallel, each point itself sharded). Options
+	// needing a global cycle-by-cycle view (TimelineInterval,
+	// Attribution) are incompatible and fail the sweep with the
+	// sharded engine's error.
+	Shards int
 	// Probe attaches a fresh collector to every point, filling
 	// SweepPoint.Probe and SweepResult.Aggregate's counters.
 	Probe bool
@@ -203,7 +211,14 @@ func Sweep(build Builder, injf InjectorFactory, loads []float64, opt SweepOption
 				return err
 			}
 		}
-		st := n.Run(inj, loads[i])
+		var st Stats
+		if opt.Shards > 1 {
+			if st, err = n.RunSharded(inj, loads[i], opt.Shards); err != nil {
+				return err
+			}
+		} else {
+			st = n.Run(inj, loads[i])
+		}
 		points[i] = SweepPoint{Stats: st}
 		if opt.Probe {
 			points[i].Probe = n.Snapshot()
