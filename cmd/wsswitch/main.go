@@ -16,8 +16,10 @@
 //	                           1 = serial; results are identical)
 //	wsswitch -shards N <id>    shard each simulation across N goroutines
 //	                           (spatial partition, bit-identical results;
-//	                           incompatible with -timeline, -attribution
-//	                           and -http, which need a global view)
+//	                           composes with -timeline, -attribution and
+//	                           -http — sharded runs also feed a /shards
+//	                           endpoint with shard-runtime introspection
+//	                           and a shard_stats block in -json)
 //	wsswitch -cpuprofile f ... write a pprof CPU profile of the run
 //	                           (samples carry experiment/worker/point
 //	                           pprof labels)
@@ -33,7 +35,8 @@
 //	wsswitch -http :8080 ...   serve live introspection while running:
 //	                           /metrics (Prometheus text), /timeline
 //	                           (sampler series JSON), /attribution and
-//	                           /heatmap (congestion attribution),
+//	                           /heatmap (congestion attribution), /shards
+//	                           (shard-runtime stats under -shards),
 //	                           /debug/pprof, /debug/vars (expvar);
 //	                           SIGINT/SIGTERM drain the server and exit 0
 //	wsswitch -timeline N ...   attach time-resolved samplers (N-cycle
@@ -77,6 +80,12 @@ import (
 type jsonOutput struct {
 	Options     jsonOptions  `json:"options"`
 	Experiments []jsonResult `json:"experiments"`
+	// ShardStats is the shard-runtime introspection aggregated over every
+	// sharded simulation of the run (omitted when serial): per-shard
+	// busy/barrier-wait wall-clock, outbox high-water marks, epoch and
+	// partition shape. Wall-clock numbers vary run to run; the simulation
+	// results above them do not.
+	ShardStats *obs.ShardStatsSnapshot `json:"shard_stats,omitempty"`
 }
 
 type jsonOptions struct {
@@ -135,9 +144,10 @@ func run() int {
 	}
 	opts := expt.Options{Quick: *quick, Seed: *seed, Probe: *jsonOut, Workers: *workers,
 		Shards: *shards, TimelineInterval: *timeline, Adaptive: *adaptive, Attribution: *attribution}
-	if *shards > 1 && (*attribution || *timeline > 0 || *httpAddr != "") {
-		fmt.Fprintln(os.Stderr, "wsswitch: -shards is incompatible with -attribution, -timeline and -http (they need a global cycle-by-cycle view); run serial")
-		return 2
+	var shardStats *obs.ShardStats
+	if *shards > 1 {
+		shardStats = &obs.ShardStats{}
+		opts.ShardStats = shardStats
 	}
 	if *verbose {
 		opts.Logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{
@@ -152,13 +162,13 @@ func run() int {
 		opts.Live = &obs.LiveTimelines{}
 		opts.Attribution = true // live /attribution and /heatmap need collectors
 		opts.LiveAttrib = &obs.LiveAttribution{}
-		srv, err := startServer(*httpAddr, opts.Progress, opts.Live, opts.LiveAttrib)
+		srv, err := startServer(*httpAddr, opts.Progress, opts.Live, opts.LiveAttrib, shardStats)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "wsswitch: %v\n", err)
 			return 1
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "wsswitch: introspection server on http://%s (/metrics /timeline /attribution /heatmap /debug/pprof /debug/vars)\n", srv.Addr())
+		fmt.Fprintf(os.Stderr, "wsswitch: introspection server on http://%s (/metrics /timeline /attribution /heatmap /shards /debug/pprof /debug/vars)\n", srv.Addr())
 		// Graceful shutdown: SIGINT/SIGTERM stop the listener, let
 		// in-flight scrapes finish (bounded), and exit 0 — so supervisors
 		// that TERM a monitored run don't lose the final scrape or see a
@@ -220,6 +230,9 @@ func run() int {
 		if !*jsonOut {
 			fmt.Println(t.Render())
 		}
+	}
+	if shardStats != nil {
+		out.ShardStats = shardStats.Snapshot()
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -345,6 +358,8 @@ examples:
   wsswitch -v -quick fig23          # watch simulation progress
   wsswitch -workers 1 fig22         # force serial execution (same results)
   wsswitch -shards 4 fig22          # shard each simulation 4 ways (same results)
+  wsswitch -shards 4 -json fig22    # ...plus shard-runtime stats (shard_stats)
+  wsswitch -shards 4 -http :8080 fig21     # sharded run with live /shards + /heatmap
   wsswitch -cpuprofile cpu.out fig24
   wsswitch -replay "family=clos size=0 pattern=uniform link=1 vcs=2 buf=8 pkt=2 rci=1 rco=1 pipe=1 term=1 warmup=50 measure=150 drain=0 seed=42 load=0.25"
   wsswitch -replay "..." -trace out.json   # packet-lifecycle trace for Perfetto

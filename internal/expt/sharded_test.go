@@ -40,6 +40,39 @@ func TestFig22ShardedByteIdentical(t *testing.T) {
 	}
 }
 
+// TestFig22ShardedObserversByteIdentical pins the shard-aware
+// observability contract at the experiment level: with time-resolved
+// samplers and congestion attribution attached to every sweep point,
+// the whole table — including the "<series>_timeline" and
+// "<series>_attribution" attachments and any saturation post-mortem
+// notes — must be byte-identical between serial and sharded execution.
+func TestFig22ShardedObserversByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multiple full fig22 runs in short mode")
+	}
+	serial, err := Run("fig22", Options{Quick: true, Seed: 1, Workers: 1,
+		TimelineInterval: 100, Attribution: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := Run("fig22", Options{Quick: true, Seed: 1, Workers: 2, Shards: 3,
+		TimelineInterval: 100, Attribution: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Error("observer-on fig22 diverged between serial and sharded execution")
+	}
+}
+
 // TestFig21AdaptiveShardedByteIdentical pins the composition of the
 // adaptive bisection engine with the sharded engine: the knee searches'
 // evaluation paths are driven by per-point Drained outcomes, so sharded

@@ -1,0 +1,134 @@
+package obs
+
+import "sync"
+
+// ShardSeg is one shard's runtime record for one sharded run: how much
+// of the fabric it owned, how its wall-clock split between stepping
+// cycles and waiting at epoch barriers, and the deepest its boundary
+// outboxes ever got. BusyNs/WaitNs are wall-clock and therefore
+// nondeterministic — they live here, outside every byte-compared
+// simulation structure, so collecting them cannot perturb results.
+type ShardSeg struct {
+	Routers   int   `json:"routers"`
+	Terminals int   `json:"terminals"`
+	Segments  int64 `json:"segments"` // barrier-to-barrier segments stepped
+	BusyNs    int64 `json:"busy_ns"`  // wall-clock spent stepping cycles
+	WaitNs    int64 `json:"wait_ns"`  // wall-clock blocked at barriers
+	// OutboxPeak is the high-water mark of boundary events this shard
+	// had buffered for other shards at any single barrier.
+	OutboxPeak int `json:"outbox_peak"`
+}
+
+// ShardRun is the shard-runtime record of one RunSharded invocation:
+// the partition's shape, the barrier activity, and the per-shard
+// timings. The simulator fills one per run and hands it to
+// ShardStats.Record.
+type ShardRun struct {
+	Shards           int     `json:"shards"`
+	Epoch            int64   `json:"epoch"` // conservative-lookahead epoch, cycles
+	BoundaryChannels int     `json:"boundary_channels"`
+	Barriers         int64   `json:"barriers"` // barriers run (epoch + observer-driven)
+	Cycles           int64   `json:"cycles"`   // cycles simulated
+	Imbalance        float64 `json:"imbalance"`
+	PerShard         []ShardSeg
+}
+
+// ShardStats accumulates shard-runtime records across sharded runs —
+// the data needed to tune the partitioner: epoch counts, barrier-wait
+// versus busy time, outbox depth high-water marks, and partition
+// imbalance. It follows the LiveAttribution pattern: the simulator
+// Records under the mutex after each run, HTTP handlers Snapshot
+// concurrently, and nothing here feeds back into simulation state.
+type ShardStats struct {
+	mu       sync.Mutex
+	runs     int64
+	barriers int64
+	cycles   int64
+	last     ShardRun   // latest run's shape (static per topology + shard count)
+	agg      []ShardSeg // per-shard sums across runs (peak for OutboxPeak)
+}
+
+// Record folds one run's shard-runtime record into the collector. A
+// record with a different shard count than the previous ones resets the
+// per-shard aggregation to the new shape.
+func (s *ShardStats) Record(run ShardRun) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.runs++
+	s.barriers += run.Barriers
+	s.cycles += run.Cycles
+	s.last = run
+	if len(s.agg) != len(run.PerShard) {
+		s.agg = make([]ShardSeg, len(run.PerShard))
+	}
+	for i, seg := range run.PerShard {
+		a := &s.agg[i]
+		a.Routers, a.Terminals = seg.Routers, seg.Terminals
+		a.Segments += seg.Segments
+		a.BusyNs += seg.BusyNs
+		a.WaitNs += seg.WaitNs
+		if seg.OutboxPeak > a.OutboxPeak {
+			a.OutboxPeak = seg.OutboxPeak
+		}
+	}
+}
+
+// ShardStatRow is the JSON-ready view of one shard's aggregated runtime.
+type ShardStatRow struct {
+	Shard     int   `json:"shard"`
+	Routers   int   `json:"routers"`
+	Terminals int   `json:"terminals"`
+	Segments  int64 `json:"segments"`
+	BusyNs    int64 `json:"busy_ns"`
+	WaitNs    int64 `json:"wait_ns"`
+	// BusyRatio is BusyNs/(BusyNs+WaitNs): how much of the shard
+	// worker's wall-clock went to stepping cycles rather than waiting at
+	// barriers. A low ratio on one shard marks a partition imbalance or
+	// a barrier-bound configuration.
+	BusyRatio  float64 `json:"busy_ratio"`
+	OutboxPeak int     `json:"outbox_peak"`
+}
+
+// ShardStatsSnapshot is the JSON-ready view of the collector: the
+// partition shape of the latest run plus per-shard aggregates across
+// all recorded runs.
+type ShardStatsSnapshot struct {
+	Runs             int64          `json:"runs"`
+	Shards           int            `json:"shards"`
+	Epoch            int64          `json:"epoch"`
+	BoundaryChannels int            `json:"boundary_channels"`
+	Barriers         int64          `json:"barriers"`
+	Cycles           int64          `json:"cycles"`
+	Imbalance        float64        `json:"imbalance"`
+	PerShard         []ShardStatRow `json:"per_shard,omitempty"`
+}
+
+// Snapshot materializes the collector (nil before any run recorded).
+func (s *ShardStats) Snapshot() *ShardStatsSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.runs == 0 {
+		return nil
+	}
+	snap := &ShardStatsSnapshot{
+		Runs:             s.runs,
+		Shards:           s.last.Shards,
+		Epoch:            s.last.Epoch,
+		BoundaryChannels: s.last.BoundaryChannels,
+		Barriers:         s.barriers,
+		Cycles:           s.cycles,
+		Imbalance:        s.last.Imbalance,
+	}
+	for i, a := range s.agg {
+		row := ShardStatRow{
+			Shard: i, Routers: a.Routers, Terminals: a.Terminals,
+			Segments: a.Segments, BusyNs: a.BusyNs, WaitNs: a.WaitNs,
+			OutboxPeak: a.OutboxPeak,
+		}
+		if tot := a.BusyNs + a.WaitNs; tot > 0 {
+			row.BusyRatio = float64(a.BusyNs) / float64(tot)
+		}
+		snap.PerShard = append(snap.PerShard, row)
+	}
+	return snap
+}

@@ -4,6 +4,7 @@ import (
 	"strconv"
 	"testing"
 
+	"waferswitch/internal/obs"
 	"waferswitch/internal/ssc"
 	"waferswitch/internal/topo"
 	"waferswitch/internal/traffic"
@@ -154,4 +155,80 @@ func BenchmarkSimShardedSaturated(b *testing.B) {
 			})
 		}
 	}
+}
+
+// benchShardedObserved is the shared body of the observer-on sharded
+// whole-run benchmarks: the 1024-port Clos of BenchmarkSimShardedSaturated
+// past saturation, with the named observers attached before RunSharded.
+// Comparing against the matching BenchmarkSimShardedSaturated/clos
+// subtest quantifies the observer overhead on the sharded path; the
+// shards=1 / shards=4 pair quantifies it on the serial path it
+// delegates to.
+//
+// allocs/op is one-time setup (sharding layout plus the per-shard
+// observer instances the coordinator merges); the steady-state loop
+// with observers attached allocates nothing — that contract is gated
+// differentially by TestRunShardedObserverAllocs, which a whole-run
+// benchmark cannot isolate.
+func benchShardedObserved(b *testing.B, attach func(n *Network)) {
+	b.Helper()
+	closChip, err := ssc.MustTH5(200).Deradix(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	clos, err := topo.HomogeneousClos(1024, closChip)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{
+		NumVCs: 2, BufPerPort: 16, PacketFlits: 2,
+		RCIngress: 1, RCOther: 1, PipeDelay: 1, TermDelay: 1,
+		WarmupCycles: 80, MeasureCycles: 240, DrainCycles: 64, Seed: 7,
+	}
+	inj, err := SyntheticInjector(traffic.Uniform(clos.ExternalPorts()), cfg.PacketFlits)(0.9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, s := range []int{1, 4} {
+		b.Run("clos/shards="+strconv.Itoa(s), func(b *testing.B) {
+			b.ReportAllocs()
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				n, err := Build(clos, ConstantLatency(4), cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				attach(n)
+				b.StartTimer()
+				st, err := n.RunSharded(inj, 0.9, s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += st.Cycles
+			}
+			b.ReportMetric(float64(cycles)/float64(b.N), "cycles/op")
+		})
+	}
+}
+
+// BenchmarkSimShardedTimelineOn pins whole-run cost of the sharded
+// engine with the time-resolved sampler attached (window 32, ring 64 —
+// deep enough that compaction fires during the run, exercising the
+// coordinator-closed-window merge path).
+func BenchmarkSimShardedTimelineOn(b *testing.B) {
+	benchShardedObserved(b, func(n *Network) {
+		n.AttachTimeline(obs.NewTimeline(32, 64))
+	})
+}
+
+// BenchmarkSimShardedAttributionOn pins whole-run cost of the sharded
+// engine with congestion attribution attached: per-shard stage
+// decomposition and blame counters folded at the final barrier.
+func BenchmarkSimShardedAttributionOn(b *testing.B) {
+	benchShardedObserved(b, func(n *Network) {
+		if err := n.AttachAttribution(n.NewAttribution()); err != nil {
+			b.Fatal(err)
+		}
+	})
 }

@@ -258,14 +258,28 @@ type Network struct {
 	// and the packet-lifecycle flight recorder, both nil-checked on every
 	// event site like the probe. tlChanFlits is the timeline's
 	// per-channel interval counter (reset every sampling window).
+	// tlLatSumR accumulates the latencies of packets retired in the open
+	// window per ejecting router; the window close folds it in ascending
+	// router order — the canonical float-addition order shared by serial
+	// and sharded runs (the latSumR pattern), so a window closed by the
+	// serial loop and the same window merged from per-shard accumulators
+	// carry bit-identical latency sums.
 	tline       *obs.Timeline
 	tlChanFlits []int32
+	tlLatSumR   []float64
 	tr          *obs.FlightRecorder
 
 	// Congestion attribution (see attrib.go): per-packet stage
 	// decomposition and blame counters, nil-checked on every event site
 	// like the probe.
 	at *attribState
+
+	// shardStats, when non-nil, receives one shard-runtime record per
+	// RunSharded (epoch counts, barrier-wait vs busy wall-clock, outbox
+	// high-water marks, partition imbalance — see obs.ShardStats). The
+	// record is wall-clock instrumentation collected outside the
+	// deterministic simulation state; serial runs ignore it.
+	shardStats *obs.ShardStats
 }
 
 // Build instantiates a simulable network from a logical topology. Every

@@ -44,8 +44,11 @@ func FuzzSimEquivalence(f *testing.F) {
 }
 
 // FuzzShardEquivalence extends the differential harness with the shard
-// dimension: the raw tuple is FuzzSimEquivalence's plus one byte that
-// maps to a shard count in [2, 11], and the sharded engine joins the
+// dimension: the raw tuple is FuzzSimEquivalence's plus one byte whose
+// low bits map to a shard count in [2, 11] and whose high bits switch
+// the shard-aware observers on (bit 5 attaches a timeline sampler to
+// both engines, bit 6 a congestion-attribution collector; their merged
+// snapshots must be byte-identical JSON). The sharded engine joins the
 // three-way Diff — reference, serial optimized and sharded must all
 // agree bit-for-bit. The count range deliberately includes primes that
 // never divide the router counts evenly and values above the smallest
@@ -64,10 +67,19 @@ func FuzzShardEquivalence(f *testing.F) {
 	f.Add(uint8(3), uint8(1), uint8(3), uint8(3), uint8(2), uint8(6), uint8(2), uint8(0), uint8(2), uint8(1), uint8(2), uint16(60), uint16(140), int64(987654321), uint16(420), uint8(1))
 	f.Add(uint8(0), uint8(2), uint8(0), uint8(0), uint8(0), uint8(0), uint8(3), uint8(0), uint8(0), uint8(1), uint8(1), uint16(50), uint16(150), int64(77), uint16(930), uint8(2))
 	f.Add(uint8(3), uint8(0), uint8(1), uint8(1), uint8(7), uint8(2), uint8(1), uint8(1), uint8(0), uint8(2), uint8(2), uint16(40), uint16(160), int64(-31), uint16(930), uint8(5))
+	// Observer-on seeds: timeline (32), attribution (64) and both (96),
+	// on prime and non-dividing shard counts, at the knee and past
+	// saturation — the merge paths with the most cross-shard traffic.
+	f.Add(uint8(0), uint8(0), uint8(0), uint8(1), uint8(1), uint8(4), uint8(1), uint8(0), uint8(0), uint8(1), uint8(1), uint16(40), uint16(100), int64(1), uint16(430), uint8(32+1))
+	f.Add(uint8(1), uint8(1), uint8(1), uint8(0), uint8(3), uint8(0), uint8(3), uint8(1), uint8(1), uint8(0), uint8(0), uint16(30), uint16(90), int64(-7), uint16(550), uint8(64+5))
+	f.Add(uint8(2), uint8(1), uint8(2), uint8(2), uint8(0), uint8(11), uint8(0), uint8(2), uint8(2), uint8(2), uint8(3), uint16(80), uint16(150), int64(424242), uint16(930), uint8(96+2))
+	f.Add(uint8(3), uint8(2), uint8(3), uint8(1), uint8(2), uint8(6), uint8(2), uint8(0), uint8(2), uint8(1), uint8(2), uint16(60), uint16(140), int64(11), uint16(700), uint8(96+9))
 	f.Fuzz(func(t *testing.T, family, size, pattern, link, vcs, buf, pkt, rci, rco, pipe, term uint8,
 		warmup, measure uint16, seed int64, loadMil uint16, shardRaw uint8) {
 		s := SpecFromRaw(family, size, pattern, link, vcs, buf, pkt, rci, rco, pipe, term, warmup, measure, seed, loadMil)
 		s.Shards = 2 + int(shardRaw)%10
+		s.Timeline = shardRaw&32 != 0
+		s.Attribution = shardRaw&64 != 0
 		rep, err := s.Diff()
 		if err != nil {
 			t.Fatalf("diff %s: %v", s, err)

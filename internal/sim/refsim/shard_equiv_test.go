@@ -1,10 +1,12 @@
 package refsim
 
 import (
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"testing"
 
+	"waferswitch/internal/obs"
 	"waferswitch/internal/sim"
 )
 
@@ -28,9 +30,12 @@ func shardCounts() []int {
 // runSerialAndSharded runs the spec through the serial engine and the
 // sharded engine and fails the test on any observable difference:
 // Stats (struct equality, so every float bit matches), the latency
-// histogram including its float sum, and the delivery log compared
+// histogram including its float sum, the delivery log compared
 // order-sensitively — the sharded merge must reconstruct the serial
-// completion order, not just the multiset.
+// completion order, not just the multiset — and the shard-aware
+// observers: both runs carry a timeline sampler and a congestion
+// attribution collector whose merged snapshots must render to
+// byte-identical JSON.
 func runSerialAndSharded(t *testing.T, s Spec, shards int) (sim.Stats, sim.Stats) {
 	t.Helper()
 	top, err := s.Build()
@@ -48,6 +53,12 @@ func runSerialAndSharded(t *testing.T, s Spec, shards int) (sim.Stats, sim.Stats
 	if err != nil {
 		t.Fatal(err)
 	}
+	serTL := obs.NewTimeline(diffTimelineInterval, diffTimelineSamples)
+	ser.AttachTimeline(serTL)
+	serAt := ser.NewAttribution()
+	if err := ser.AttachAttribution(serAt); err != nil {
+		t.Fatal(err)
+	}
 	ser.RecordDeliveries()
 	serSt := ser.Run(serInj, s.Load)
 
@@ -59,10 +70,39 @@ func runSerialAndSharded(t *testing.T, s Spec, shards int) (sim.Stats, sim.Stats
 	if err != nil {
 		t.Fatal(err)
 	}
+	shTL := obs.NewTimeline(diffTimelineInterval, diffTimelineSamples)
+	shn.AttachTimeline(shTL)
+	shAt := shn.NewAttribution()
+	if err := shn.AttachAttribution(shAt); err != nil {
+		t.Fatal(err)
+	}
 	shn.RecordDeliveries()
 	shSt, err := shn.RunSharded(shInj, s.Load, shards)
 	if err != nil {
 		t.Fatalf("RunSharded(%d) %s: %v", shards, s, err)
+	}
+
+	wantTL, err := json.Marshal(serTL.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotTL, err := json.Marshal(shTL.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotTL) != string(wantTL) {
+		t.Errorf("timeline snapshots diverge at shards=%d:\n  serial  %s\n  sharded %s\nspec: %s", shards, wantTL, gotTL, s)
+	}
+	wantAt, err := json.Marshal(serAt.Snapshot(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotAt, err := json.Marshal(shAt.Snapshot(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotAt) != string(wantAt) {
+		t.Errorf("attribution snapshots diverge at shards=%d:\n  serial  %s\n  sharded %s\nspec: %s", shards, wantAt, gotAt, s)
 	}
 
 	if shSt != serSt {

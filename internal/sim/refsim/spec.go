@@ -1,11 +1,14 @@
 package refsim
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strconv"
 	"strings"
 
+	"waferswitch/internal/obs"
 	"waferswitch/internal/sim"
 	"waferswitch/internal/ssc"
 	"waferswitch/internal/topo"
@@ -37,7 +40,23 @@ type Spec struct {
 	// (RunSharded) on that many shards, required to match the serial
 	// optimized run bit for bit. 0 and 1 mean serial only.
 	Shards int
+
+	// Timeline and Attribution attach the corresponding shard-aware
+	// observers to the serial optimized run and, when Shards > 1, to the
+	// sharded run as well; Diff then requires the merged observer
+	// snapshots to render to byte-identical JSON across the two engines.
+	Timeline    bool
+	Attribution bool
 }
+
+// Observer shape used by Diff when Spec.Timeline is set: a short window
+// and a small sample budget so compaction (interval doubling) fires on
+// typical fuzz-sized runs, exercising the Truncated/compaction paths of
+// the sharded merge too.
+const (
+	diffTimelineInterval = 16
+	diffTimelineSamples  = 32
+)
 
 // Families and patterns a Spec can name, in the order raw fuzz bytes
 // index them.
@@ -80,10 +99,10 @@ func SpecFromRaw(family, size, pattern, link, vcs, buf, pkt, rci, rco, pipe, ter
 // space-separated key=value pairs, parseable by ParseSpec.
 func (s Spec) String() string {
 	return fmt.Sprintf(
-		"family=%s size=%d pattern=%s link=%d vcs=%d buf=%d pkt=%d rci=%d rco=%d pipe=%d term=%d warmup=%d measure=%d drain=%d seed=%d load=%g shards=%d",
+		"family=%s size=%d pattern=%s link=%d vcs=%d buf=%d pkt=%d rci=%d rco=%d pipe=%d term=%d warmup=%d measure=%d drain=%d seed=%d load=%g shards=%d timeline=%t attribution=%t",
 		s.Family, s.Size, s.Pattern, s.LinkLat, s.VCs, s.Buf, s.Pkt,
 		s.RCI, s.RCO, s.Pipe, s.Term, s.Warmup, s.Measure, s.Drain,
-		s.Seed, s.Load, s.Shards)
+		s.Seed, s.Load, s.Shards, s.Timeline, s.Attribution)
 }
 
 // ParseSpec parses the String form back into a Spec. Unknown keys are
@@ -132,6 +151,10 @@ func ParseSpec(in string) (Spec, error) {
 			s.Load, err = strconv.ParseFloat(val, 64)
 		case "shards":
 			s.Shards, err = strconv.Atoi(val)
+		case "timeline":
+			s.Timeline, err = strconv.ParseBool(val)
+		case "attribution":
+			s.Attribution, err = strconv.ParseBool(val)
 		default:
 			return s, fmt.Errorf("refsim: unknown spec key %q", key)
 		}
@@ -300,6 +323,18 @@ func (s Spec) Diff() (*DiffReport, error) {
 	if err := n.Check(opt); err != nil {
 		return nil, err
 	}
+	var optTL *obs.Timeline
+	var optAt *obs.Attribution
+	if s.Timeline {
+		optTL = obs.NewTimeline(diffTimelineInterval, diffTimelineSamples)
+		n.AttachTimeline(optTL)
+	}
+	if s.Attribution {
+		optAt = n.NewAttribution()
+		if err := n.AttachAttribution(optAt); err != nil {
+			return nil, err
+		}
+	}
 	n.RecordDeliveries()
 	rep := &DiffReport{Spec: s}
 	rep.Opt = n.Run(inj, s.Load)
@@ -338,6 +373,18 @@ func (s Spec) Diff() (*DiffReport, error) {
 		if err != nil {
 			return nil, err
 		}
+		var shTL *obs.Timeline
+		var shAt *obs.Attribution
+		if s.Timeline {
+			shTL = obs.NewTimeline(diffTimelineInterval, diffTimelineSamples)
+			sn.AttachTimeline(shTL)
+		}
+		if s.Attribution {
+			shAt = sn.NewAttribution()
+			if err := sn.AttachAttribution(shAt); err != nil {
+				return nil, err
+			}
+		}
 		sn.RecordDeliveries()
 		shStats, err := sn.RunSharded(shInj, s.Load, s.Shards)
 		if err != nil {
@@ -369,6 +416,35 @@ func (s Spec) Diff() (*DiffReport, error) {
 						i, s.Shards, od[i], sd[i]))
 					break
 				}
+			}
+		}
+		// Shard-aware observers must merge to byte-identical snapshots.
+		if s.Timeline {
+			want, err := json.Marshal(optTL.Snapshot())
+			if err != nil {
+				return nil, err
+			}
+			got, err := json.Marshal(shTL.Snapshot())
+			if err != nil {
+				return nil, err
+			}
+			if !bytes.Equal(got, want) {
+				rep.Divergences = append(rep.Divergences, fmt.Sprintf(
+					"sharded timeline snapshot differs (shards=%d):\n  serial  %s\n  sharded %s", s.Shards, want, got))
+			}
+		}
+		if s.Attribution {
+			want, err := json.Marshal(optAt.Snapshot(8))
+			if err != nil {
+				return nil, err
+			}
+			got, err := json.Marshal(shAt.Snapshot(8))
+			if err != nil {
+				return nil, err
+			}
+			if !bytes.Equal(got, want) {
+				rep.Divergences = append(rep.Divergences, fmt.Sprintf(
+					"sharded attribution snapshot differs (shards=%d):\n  serial  %s\n  sharded %s", s.Shards, want, got))
 			}
 		}
 	}

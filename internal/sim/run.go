@@ -157,6 +157,9 @@ func (n *Network) Run(inj Injector, offered float64) Stats {
 		// root-cause walk at the final cycle for the post-mortem.
 		n.at.lastBP = n.AnalyzeBackpressure()
 	}
+	if n.at != nil {
+		n.foldStageSums()
+	}
 	st := Stats{
 		Offered:   offered,
 		Accepted:  float64(n.ejectedFlits) / float64(n.T) / float64(n.measEnd-n.measStart),
@@ -829,6 +832,12 @@ func (n *Network) forward(r, out, winnerVC, inPort int) {
 		if n.probe != nil {
 			n.probe.Channels[n.outCh[o]].Flits++
 		}
+		if n.tline != nil {
+			// The source shard owns the boundary channel's utilization
+			// counter: it is the unique writer, so the shared per-channel
+			// array stays race-free.
+			n.tlChanFlits[n.outCh[o]]++
+		}
 	} else {
 		// Terminal ejection: the flit leaves through the egress pipeline
 		// and the host link.
@@ -878,7 +887,7 @@ func (n *Network) completePacket(pkt int32, r int) {
 	pi := &n.pkts[pkt]
 	lat := float64(n.now + int64(n.cfg.PipeDelay+n.cfg.TermDelay) - pi.born)
 	if n.at != nil {
-		n.atComplete(pkt, pi, lat)
+		n.atComplete(pkt, pi, lat, r)
 	}
 	if pi.measured {
 		n.latencySum += lat
@@ -892,6 +901,7 @@ func (n *Network) completePacket(pkt int32, r int) {
 		// packet counts, measured or not, so warmup and drain windows
 		// show real latencies too.
 		n.tline.NoteRetire(lat)
+		n.tlLatSumR[r] += lat
 	}
 	if n.chk != nil {
 		n.chk.noteComplete(pkt, pi, n.now)

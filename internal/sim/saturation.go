@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"sort"
+
+	"waferswitch/internal/obs"
 )
 
 // SaturationSearchOptions configures FindSaturation.
@@ -27,6 +29,9 @@ type SaturationSearchOptions struct {
 	// bisection path and the returned bracket — are bit-identical to the
 	// serial search.
 	Shards int
+	// ShardStats, when non-nil (and Shards > 1), collects shard-runtime
+	// introspection from every probed point (see obs.ShardStats).
+	ShardStats *obs.ShardStats
 }
 
 // SaturationResult is the outcome of a bisection saturation search.
@@ -101,6 +106,9 @@ func FindSaturation(build Builder, injf InjectorFactory, opt SaturationSearchOpt
 		}
 		var st Stats
 		if opt.Shards > 1 {
+			if opt.ShardStats != nil {
+				n.SetShardStats(opt.ShardStats)
+			}
 			if st, err = n.RunSharded(inj, load, opt.Shards); err != nil {
 				return Stats{}, err
 			}

@@ -4,9 +4,9 @@ import (
 	"context"
 	"fmt"
 	"runtime/pprof"
-	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"waferswitch/internal/obs"
 )
@@ -131,23 +131,26 @@ type ringRef struct {
 
 // RunSharded is Run partitioned across shards goroutines, bit-identical
 // to the serial Run for any shard count: same Stats, same latency
-// histogram (including the float sum), same delivery log. Shard counts
-// <= 1 (after clamping to the router count) delegate to Run. Observers
-// that need a global cycle-by-cycle view — the timeline sampler, the
-// flight recorder, the invariant checker, congestion attribution, and
-// convergence-bounded measurement — are not supported and return an
-// error naming the serial path; probes, the early-abort detector and
-// delivery recording work shard-locally with deterministic merges.
+// histogram (including the float sum), same delivery log — and, when
+// attached, the same timeline series, the same attribution collector and
+// the same invariant-checker verdicts. Shard counts <= 1 (after clamping
+// to the router count) delegate to Run.
+//
+// The aggregate observers run shard-aware: the timeline sampler closes
+// its windows at barrier-aligned boundaries from per-shard accumulators,
+// congestion attribution records into per-shard collectors merged in
+// ascending shard order (cross-shard credit-stall blame routes through
+// the private collectors), and the invariant checker splits into
+// shard-local event checks plus coordinator-run structural scans and a
+// global no-progress watchdog at barriers (see DESIGN §14). Only the
+// flight recorder (a strictly-ordered global event ring) and
+// convergence-bounded measurement (a sequential stopping rule on the
+// global cycle stream) remain serial-only and return an error naming
+// the serial path.
 func (n *Network) RunSharded(inj Injector, offered float64, shards int) (Stats, error) {
 	switch {
-	case n.tline != nil:
-		return Stats{}, fmt.Errorf("sim: sharded run does not support the timeline sampler; run serial (shards=1)")
 	case n.tr != nil:
 		return Stats{}, fmt.Errorf("sim: sharded run does not support the flight recorder; run serial (shards=1)")
-	case n.chk != nil:
-		return Stats{}, fmt.Errorf("sim: sharded run does not support the invariant checker; run serial (shards=1)")
-	case n.at != nil:
-		return Stats{}, fmt.Errorf("sim: sharded run does not support congestion attribution; run serial (shards=1)")
 	case n.cfg.ConvergeRelErr > 0:
 		return Stats{}, fmt.Errorf("sim: sharded run does not support convergence-bounded measurement; run serial (shards=1)")
 	}
@@ -260,6 +263,23 @@ func (n *Network) RunSharded(inj Injector, offered float64, shards int) (Stats, 
 		n.pktRoute = append(n.pktRoute, 0)
 		n.pktSalt = append(n.pktSalt, 0)
 	}
+	// Packet-id-indexed observer state mirrors the packet table: growing
+	// it to the same preallocated bound up front means the shards' shared
+	// slices never grow mid-run (an append would race). A packet id is
+	// touched by one shard at a time — handoff goes through the pool
+	// mutex (free-id recycling) or an epoch barrier (flits crossing a
+	// cut), both of which order the accesses.
+	if n.at != nil {
+		for len(n.at.pkts) < capTotal {
+			n.at.pkts = append(n.at.pkts, pktAttrib{})
+		}
+	}
+	if n.chk != nil {
+		for len(n.chk.live) < capTotal {
+			n.chk.live = append(n.chk.live, false)
+			n.chk.ejected = append(n.chk.ejected, 0)
+		}
+	}
 	pool := &pktPool{free: n.freePkts}
 	for id := capTotal - 1; id >= origLen; id-- {
 		pool.free = append(pool.free, int32(id))
@@ -302,6 +322,34 @@ func (n *Network) RunSharded(inj Injector, offered float64, shards int) (Stats, 
 		sh.ab = nil
 		if n.probe != nil {
 			sh.probe = n.NewProbe()
+		}
+		if n.tline != nil {
+			// Shard-local window accumulator: Tick integrates this shard's
+			// router occupancy and never reports a window boundary — the
+			// coordinator drains the accumulators at the master sampler's
+			// window boundaries, which are always barrier-aligned. The
+			// per-channel utilization counters and per-router latency sums
+			// stay shared: every channel and every router has exactly one
+			// writer shard.
+			sh.tline = obs.NewTimelineAccumulator()
+		}
+		if n.at != nil {
+			// Private full-size collector per shard: a credit stall blames
+			// the downstream router, which may live in another shard, so
+			// blame counters cannot share one array without racing. Every
+			// counter is an integer, so the ascending-shard merge at the
+			// end is exact. The per-packet accumulators and per-router
+			// stage sums are shared (packet-id handoff is ordered by the
+			// pool mutex or a barrier; stage sums have one writer per
+			// router).
+			sh.at = &attribState{a: n.NewAttribution(), pkts: n.at.pkts, stageSumR: n.at.stageSumR}
+		}
+		if n.chk != nil {
+			// Event-driven checks (loss/duplication, progress, counters)
+			// run shard-locally; eventsOnly defers the structural scans and
+			// the watchdog to the coordinator, which runs them at barriers
+			// where global state is settled.
+			sh.chk = &checker{opt: n.chk.opt, eventsOnly: true, live: n.chk.live, ejected: n.chk.ejected}
 		}
 		// Producer offsets against the shard-local layout, with boundary
 		// producers redirected to outboxes (lp <= -2, see bndPush).
@@ -357,7 +405,18 @@ func (n *Network) RunSharded(inj Injector, offered float64, shards int) (Stats, 
 
 	// Persistent workers driven by per-segment channel sends; the
 	// send/Wait pair is the two-phase barrier (workers quiesce, then the
-	// coordinator owns all state until the next send).
+	// coordinator owns all state until the next send). With a ShardStats
+	// collector attached, each worker splits its wall-clock into stepping
+	// (busy) and blocked-at-barrier (wait) time — nondeterministic data
+	// that lives outside every byte-compared structure, gated so untimed
+	// runs pay nothing.
+	type shardClock struct {
+		busyNs, waitNs int64
+		segs           int64
+	}
+	clocks := make([]shardClock, S)
+	outboxPeak := make([]int, S)
+	var barriers int64
 	type segment struct{ from, to int64 }
 	starts := make([]chan segment, S)
 	var wg sync.WaitGroup
@@ -366,9 +425,25 @@ func (n *Network) RunSharded(inj Injector, offered float64, shards int) (Stats, 
 		go func(s int) {
 			pprof.Do(context.Background(), pprof.Labels("sim_shard", strconv.Itoa(s)), func(context.Context) {
 				sh := nets[s]
+				timed := n.shardStats != nil
+				var waitFrom time.Time
+				if timed {
+					waitFrom = time.Now()
+				}
 				for seg := range starts[s] {
+					var t0 time.Time
+					if timed {
+						t0 = time.Now()
+						clocks[s].waitNs += t0.Sub(waitFrom).Nanoseconds()
+					}
 					for sh.now = seg.from; sh.now < seg.to; sh.now++ {
 						sh.step(inj)
+					}
+					if timed {
+						t1 := time.Now()
+						clocks[s].busyNs += t1.Sub(t0).Nanoseconds()
+						clocks[s].segs++
+						waitFrom = t1
 					}
 					wg.Done()
 				}
@@ -386,6 +461,20 @@ func (n *Network) RunSharded(inj Injector, offered float64, shards int) (Stats, 
 			starts[s] <- segment{from, to}
 		}
 		wg.Wait()
+		barriers++
+		if n.shardStats != nil {
+			// Outbox depth high-water mark per producer shard, sampled at
+			// the barrier before the commit drains the boxes.
+			for ss := 0; ss < S; ss++ {
+				depth := 0
+				for ds := 0; ds < S; ds++ {
+					depth += len(boxes[ss][ds].ents)
+				}
+				if depth > outboxPeak[ss] {
+					outboxPeak[ss] = depth
+				}
+			}
+		}
 		// Boundary commit: drain every outbox into the owning shard's
 		// ring slab in fixed (consumer, producer, production) order.
 		// Each entry lands in a distinct slot (one event per channel per
@@ -412,27 +501,196 @@ func (n *Network) RunSharded(inj Injector, offered float64, shards int) (Stats, 
 		return
 	}
 
-	// Warmup + measurement: barriers at epoch multiples plus the abort
-	// detector's fixed check cadence (so its decisions see globally
-	// merged counters at exactly the serial check cycles).
-	var bts []int64
-	for t := epoch; t < n.measEnd; t += epoch {
-		bts = append(bts, t)
+	// Observer coordination. A barrier at cycle b exposes the serial
+	// end-of-cycle b-1 state: workers are quiescent and the boundary
+	// commit has run, so the shared arrays plus the shard ring slabs read
+	// exactly as the serial simulator's state at the end of cycle b-1.
+	// Every cycle where the serial run touches global observer state — a
+	// timeline window close, a checker structural scan, the no-progress
+	// watchdog's fire cycle, the abort detector's cadence — therefore
+	// maps to a barrier at that cycle plus one, and the scheduler below
+	// clamps segment ends so each of those barriers is hit exactly.
+	chkEvery := int64(0)
+	if n.chk != nil {
+		chkEvery = int64(n.chk.opt.Every)
 	}
-	if n.ab != nil {
-		for t := n.measStart + n.ab.every; t < n.measEnd; t += n.ab.every {
-			bts = append(bts, t)
+	// wdBase is the watchdog's idle-reset floor: the serial checker sets
+	// lastProgress to the current cycle when the watchdog expires over an
+	// idle network, which no shard-local counter records.
+	wdBase := int64(0)
+	// wClose is the next window-close barrier; windows are master.Interval
+	// cycles long, re-read after every close because compaction doubles
+	// the interval.
+	wClose := int64(0)
+	if n.tline != nil {
+		wClose = n.tline.Interval()
+	}
+	// globalProgress reconstructs the serial checker's lastProgress: the
+	// latest cycle any shard injected or forwarded a flit, clamped below
+	// by the idle-reset floor. Coordinator-only (workers quiescent).
+	globalProgress := func() int64 {
+		glp := wdBase
+		for s := 0; s < S; s++ {
+			if lp := nets[s].chk.lastProgress; lp > glp {
+				glp = lp
+			}
+		}
+		return glp
+	}
+	// closeWindow closes one timeline window the way the serial
+	// EndIntervalSum does, from counts merged across the shard
+	// accumulators in ascending shard order: bucket counts, min/max and
+	// total merge exactly in the scratch histogram (Percentile reads only
+	// those), the latency sum is the canonical ascending-router fold of
+	// the shared accumulator, and utilization comes from the shared
+	// per-channel counters — bit-identical to the serial window.
+	closeWindow := func() {
+		var win obs.TimelineSample
+		var h obs.Histogram
+		for s := 0; s < S; s++ {
+			ws, wh := nets[s].tline.TakeWindow()
+			if s == 0 {
+				win.Cycles = ws.Cycles // every shard stepped the same cycles
+			}
+			win.Injected += ws.Injected
+			win.Ejected += ws.Ejected
+			win.OccSum += ws.OccSum
+			h.Merge(&wh)
+		}
+		if win.Cycles == 0 {
+			return
+		}
+		win.Retired = h.Count()
+		win.LatSum = n.takeWindowLatSum()
+		if win.Retired > 0 {
+			win.P99 = h.Percentile(0.99)
+		}
+		win.TopUtil = float64(n.takeWindowMaxFlits()) / float64(win.Cycles)
+		n.tline.AppendWindow(win)
+	}
+	// checkCreditsSharded is the checker's per-channel credit scan with
+	// the ring words located in the owning shards' layouts: the flit ring
+	// lives in the destination shard, and a boundary channel's credit
+	// ring in the source shard (interior channels keep the serial
+	// flit/credit word sharing).
+	checkCreditsSharded := func() {
+		for ci := range n.channels {
+			lat := n.channels[ci].lat
+			var onRing, credInFlight int64
+			fr := flitRef[ci]
+			slab := nets[fr.shard].ringSlab
+			off, cnt := offS[fr.shard][fr.k], cntS[fr.shard][fr.k]
+			for s := int32(0); s < lat; s++ {
+				w := slab[off+s*cnt+fr.pos]
+				if w&evValid != 0 {
+					onRing++
+				}
+				if w&evCred != 0 {
+					credInFlight++
+				}
+			}
+			if cr := credRef[ci]; cr.shard >= 0 {
+				slab := nets[cr.shard].ringSlab
+				off, cnt := offS[cr.shard][cr.k], cntS[cr.shard][cr.k]
+				for s := int32(0); s < lat; s++ {
+					if slab[off+s*cnt+cr.pos]&evCred != 0 {
+						credInFlight++
+					}
+				}
+			}
+			if n.chk.checkCreditChannel(n, ci, onRing, credInFlight) {
+				return // one report per scan, like the serial path
+			}
 		}
 	}
-	bts = append(bts, n.measEnd)
-	sort.Slice(bts, func(i, j int) bool { return bts[i] < bts[j] })
+	// nextBarrier picks the next segment end after cur: at most one epoch
+	// out, clamped to the earliest pending observer barrier and to limit.
+	nextBarrier := func(cur, limit int64) int64 {
+		next := cur + epoch
+		if n.ab != nil {
+			k := int64(1)
+			if cur > n.measStart {
+				k = (cur-n.measStart)/n.ab.every + 1
+			}
+			if a := n.measStart + k*n.ab.every; a > cur && a < next {
+				next = a
+			}
+		}
+		if wClose > cur && wClose < next {
+			next = wClose
+		}
+		if chkEvery > 0 {
+			// Structural scans run at the end of every cycle t with
+			// t%Every == 0, i.e. at barrier t+1.
+			if b := (cur+chkEvery-1)/chkEvery*chkEvery + 1; b < next {
+				next = b
+			}
+			if n.chk.opt.Watchdog >= 0 && !n.chk.deadlocked {
+				// The serial watchdog first trips at lastProgress+W+1 (the
+				// end-of-cycle check), i.e. barrier lastProgress+W+2. Any
+				// progress before then pushes the fire cycle out, so
+				// rescheduling from the current global progress at every
+				// barrier hits the serial fire cycle exactly.
+				if wd := globalProgress() + int64(n.chk.opt.Watchdog) + 2; wd > cur && wd < next {
+					next = wd
+				}
+			}
+		}
+		if next > limit {
+			next = limit
+		}
+		return next
+	}
+	// atBarrier runs the serial end-of-cycle observer work for cycle b-1,
+	// in the serial step's order: the timeline tick (window close)
+	// precedes the checker's end-of-cycle scans.
+	atBarrier := func(b int64) {
+		if n.tline != nil && b == wClose {
+			closeWindow()
+			wClose = b + n.tline.Interval()
+		}
+		if n.chk == nil {
+			return
+		}
+		n.now = b - 1 // scans and dumps stamp the serial cycle number
+		if (b-1)%chkEvery == 0 {
+			var injected, delivered int64
+			for s := 0; s < S; s++ {
+				injected += nets[s].chk.injected
+				delivered += nets[s].chk.delivered
+			}
+			n.chk.checkConservationAt(b-1, injected, delivered, shardedBufferedFlits(n, nets))
+			checkCreditsSharded()
+			n.chk.checkVCIntegrity(n)
+		}
+		if n.chk.opt.Watchdog >= 0 && !n.chk.deadlocked {
+			glp := globalProgress()
+			if (b-1)-glp > int64(n.chk.opt.Watchdog) {
+				var buffered int64
+				for r := 0; r < n.R; r++ {
+					buffered += int64(n.routerOcc[r])
+				}
+				if buffered == 0 {
+					wdBase = b - 1 // idle network, nothing owed
+				} else {
+					n.chk.deadlocked = true
+					n.chk.violatef("cycle %d: no progress for %d cycles with %d flits buffered: deadlock\n%s",
+						b-1, (b-1)-glp, buffered, n.chk.deadlockDump(n))
+				}
+			}
+		}
+	}
+
+	// Warmup + measurement: epoch barriers clamped to the observer
+	// barriers and the abort detector's fixed check cadence (so its
+	// decisions see globally merged counters at exactly the serial check
+	// cycles).
 	cur := int64(0)
-	for _, t := range bts {
-		if t <= cur {
-			continue
-		}
-		runSeg(cur, t)
-		cur = t
+	for cur < n.measEnd {
+		next := nextBarrier(cur, n.measEnd)
+		runSeg(cur, next)
+		cur = next
+		atBarrier(cur)
 		if n.ab != nil && cur > n.measStart && (cur-n.measStart)%n.ab.every == 0 {
 			_, _, n.ejectedFlits = sumCounts()
 			n.ab.measureCheck(n, offered)
@@ -440,12 +698,13 @@ func (n *Network) RunSharded(inj Injector, offered float64, shards int) (Stats, 
 	}
 
 	// Drain, replicating the serial loop's stop conditions at barrier
-	// granularity. With a probe attached the drain runs cycle-by-cycle
-	// so it stops on exactly the serial cycle (no overshoot to perturb
-	// the per-cycle occupancy/stall counters); without one, overshoot
-	// past the last completion is invisible — every statistic below is
-	// either frozen at measEnd or reconstructed exactly (lastDone,
-	// delivery filter).
+	// granularity. With any per-cycle observer attached (probe, timeline,
+	// attribution, checker) the drain runs cycle-by-cycle so it stops on
+	// exactly the serial cycle — overshoot would keep injecting and
+	// retiring packets the serial run never simulated, perturbing their
+	// counters; without observers, overshoot past the last completion is
+	// invisible — every statistic below is either frozen at measEnd or
+	// reconstructed exactly (lastDone, delivery filter).
 	gComp, gBorn, _ := sumCounts()
 	deadline := n.measEnd + drain
 	aborted := false
@@ -456,7 +715,7 @@ func (n *Network) RunSharded(inj Injector, offered float64, shards int) (Stats, 
 			n.ab.startDrain(gComp)
 		}
 		ds := epoch
-		if n.probe != nil {
+		if n.probe != nil || n.tline != nil || n.at != nil || n.chk != nil {
 			ds = 1
 		}
 		for cur = n.measEnd; gComp < gBorn && cur < deadline; {
@@ -471,6 +730,7 @@ func (n *Network) RunSharded(inj Injector, offered float64, shards int) (Stats, 
 			}
 			runSeg(cur, next)
 			cur = next
+			atBarrier(cur)
 			var gEject int64
 			gComp, gBorn, gEject = sumCounts()
 			if n.ab != nil && (cur-n.measEnd)%n.ab.every == 0 && gComp < gBorn {
@@ -529,6 +789,55 @@ func (n *Network) RunSharded(inj Injector, offered float64, shards int) (Stats, 
 		// count each cycle once, like the serial run.
 		n.probe.Cycles /= int64(S)
 	}
+	if n.tline != nil {
+		closeWindow() // flush the partial final window, like the serial epilogue
+		if aborted {
+			n.tline.MarkTruncated()
+		}
+	}
+	if n.at != nil {
+		// Ascending-shard merge of the private collectors: every counter
+		// is an integer, so the merge is exact; the stage histograms'
+		// float sums are then replaced by the canonical ascending-router
+		// fold, the same bits the serial run installs.
+		for s := 0; s < S; s++ {
+			if err := n.at.a.Merge(nets[s].at.a); err != nil {
+				return Stats{}, err
+			}
+			n.at.sumErrs += nets[s].at.sumErrs
+		}
+		if n.completed < n.measuredBorn {
+			// Saturated (or deadlocked): capture the backpressure
+			// root-cause walk at the final cycle for the post-mortem. The
+			// walk reads only shared router/terminal-indexed state, so it
+			// crosses shard boundaries for free.
+			n.at.lastBP = n.AnalyzeBackpressure()
+		}
+		n.foldStageSums()
+	}
+	if n.chk != nil {
+		// Fold the shard-local event checkers into the coordinator's:
+		// summed counters, the global progress cycle, and the per-shard
+		// violation lists appended in ascending shard order after the
+		// coordinator's own barrier-time findings.
+		for s := 0; s < S; s++ {
+			c := nets[s].chk
+			n.chk.injected += c.injected
+			n.chk.delivered += c.delivered
+			if c.lastProgress > n.chk.lastProgress {
+				n.chk.lastProgress = c.lastProgress
+			}
+			for _, v := range c.violations {
+				n.chk.violatef("%s", v)
+			}
+			n.chk.dropped += c.dropped
+		}
+		if n.logger != nil && len(n.chk.violations) > 0 {
+			n.logger.Error("sim.check_failed",
+				"violations", len(n.chk.violations)+n.chk.dropped,
+				"first", n.chk.violations[0])
+		}
+	}
 
 	st := Stats{
 		Offered:   offered,
@@ -561,7 +870,52 @@ func (n *Network) RunSharded(inj Injector, offered float64, shards int) (Stats, 
 				"aborted", st.Aborted)
 		}
 	}
+	if n.shardStats != nil {
+		run := obs.ShardRun{
+			Shards: S, Epoch: epoch, BoundaryChannels: nBoundary,
+			Barriers: barriers, Cycles: n.now,
+		}
+		maxR := 0
+		for s := 0; s < S; s++ {
+			nr := cuts[s+1] - cuts[s]
+			if nr > maxR {
+				maxR = nr
+			}
+			run.PerShard = append(run.PerShard, obs.ShardSeg{
+				Routers:    nr,
+				Terminals:  ts[cuts[s+1]] - ts[cuts[s]],
+				Segments:   clocks[s].segs,
+				BusyNs:     clocks[s].busyNs,
+				WaitNs:     clocks[s].waitNs,
+				OutboxPeak: outboxPeak[s],
+			})
+		}
+		// Imbalance 1.0 means a perfectly even router split; the largest
+		// shard bounds the critical path between barriers.
+		run.Imbalance = float64(maxR) * float64(S) / float64(n.R)
+		n.shardStats.Record(run)
+	}
 	return st, nil
+}
+
+// shardedBufferedFlits recounts the global in-flight flits at a barrier:
+// input-VC occupancy from the shared vcHL array plus channel-ring
+// occupancy from every shard's ring slab (the master's serial slab is
+// stale in sharded mode; after the boundary commit the shard slabs hold
+// exactly the serial ring state).
+func shardedBufferedFlits(n *Network, nets []*Network) int64 {
+	var total int64
+	for _, hl := range n.vcHL {
+		total += int64(hl & 0xffff)
+	}
+	for _, sh := range nets {
+		for _, ev := range sh.ringSlab {
+			if ev&evValid != 0 {
+				total++
+			}
+		}
+	}
+	return total
 }
 
 // mergeDeliveries k-way merges the per-shard delivery logs by

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"encoding/json"
+	"fmt"
 	"reflect"
 	"runtime"
 	"strings"
@@ -88,43 +89,27 @@ func TestPartitionRoutersMeshRowAligned(t *testing.T) {
 	}
 }
 
-// TestRunShardedObserverErrors: observers that need a global
-// cycle-by-cycle view must be rejected with an error naming the serial
-// path, before any goroutine is spawned.
+// TestRunShardedObserverErrors: the two remaining serial-only features
+// — the flight recorder (a single globally ordered event ring) and
+// convergence-bounded measurement — must be rejected with an error
+// naming the serial path, before any goroutine is spawned. Timeline,
+// attribution and the checker are shard-aware and covered by the
+// positive equivalence tests below.
 func TestRunShardedObserverErrors(t *testing.T) {
 	top := testClos(t)
 	inj := RateInjector{Load: 0.1, Pattern: traffic.Uniform(top.ExternalPorts()), PacketFlits: 2}
-	cases := []struct {
-		name string
-		prep func(t *testing.T, n *Network)
-	}{
-		{"timeline", func(t *testing.T, n *Network) { n.AttachTimeline(obs.NewTimeline(16, 64)) }},
-		{"tracer", func(t *testing.T, n *Network) { n.Trace(obs.NewFlightRecorder(128)) }},
-		{"checker", func(t *testing.T, n *Network) {
-			if err := n.Check(CheckOptions{}); err != nil {
-				t.Fatal(err)
-			}
-		}},
-		{"attribution", func(t *testing.T, n *Network) {
-			if err := n.AttachAttribution(n.NewAttribution()); err != nil {
-				t.Fatal(err)
-			}
-		}},
-	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
-			n, err := Build(top, ConstantLatency(1), shardTestConfig())
-			if err != nil {
-				t.Fatal(err)
-			}
-			tc.prep(t, n)
-			if _, err := n.RunSharded(inj, 0.1, 2); err == nil {
-				t.Fatalf("RunSharded accepted unsupported observer %q", tc.name)
-			} else if !strings.Contains(err.Error(), "shards=1") {
-				t.Fatalf("error %q does not name the serial path", err)
-			}
-		})
-	}
+	t.Run("tracer", func(t *testing.T) {
+		n, err := Build(top, ConstantLatency(1), shardTestConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Trace(obs.NewFlightRecorder(128))
+		if _, err := n.RunSharded(inj, 0.1, 2); err == nil {
+			t.Fatal("RunSharded accepted a flight recorder")
+		} else if !strings.Contains(err.Error(), "shards=1") {
+			t.Fatalf("error %q does not name the serial path", err)
+		}
+	})
 	t.Run("convergence", func(t *testing.T) {
 		cfg := shardTestConfig()
 		cfg.ConvergeRelErr = 0.05
@@ -134,8 +119,224 @@ func TestRunShardedObserverErrors(t *testing.T) {
 		}
 		if _, err := n.RunSharded(inj, 0.1, 2); err == nil {
 			t.Fatal("RunSharded accepted convergence-bounded measurement")
+		} else if !strings.Contains(err.Error(), "shards=1") {
+			t.Fatalf("error %q does not name the serial path", err)
 		}
 	})
+}
+
+// TestRunShardedTimelineByteIdentical: a timeline attached to a sharded
+// run must produce the identical sample series — every window's
+// injected/ejected/retired counts, latency sum, P99, top utilization and
+// occupancy, rendered to the same JSON bytes — as the serial run, for
+// shard counts that do and do not divide the router count, and for a
+// sampler small enough that compaction (interval doubling) fires
+// mid-run.
+func TestRunShardedTimelineByteIdentical(t *testing.T) {
+	top := testClos(t)
+	cfg := shardTestConfig()
+	inj := RateInjector{Load: 0.4, Pattern: traffic.Uniform(top.ExternalPorts()), PacketFlits: 2}
+	samplers := []struct {
+		name               string
+		interval, capacity int
+	}{
+		{"plain", 16, 64},
+		{"compacting", 8, 8},
+	}
+	for _, sp := range samplers {
+		ser, err := Build(top, ConstantLatency(1), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stl := obs.NewTimeline(sp.interval, sp.capacity)
+		ser.AttachTimeline(stl)
+		serSt := ser.Run(inj, 0.4)
+		want, err := json.Marshal(stl.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{2, 3, 4} {
+			t.Run(fmt.Sprintf("%s/shards=%d", sp.name, shards), func(t *testing.T) {
+				shn, err := Build(top, ConstantLatency(1), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				htl := obs.NewTimeline(sp.interval, sp.capacity)
+				shn.AttachTimeline(htl)
+				shSt, err := shn.RunSharded(inj, 0.4, shards)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if shSt != serSt {
+					t.Fatalf("stats diverge:\n  serial  %+v\n  sharded %+v", serSt, shSt)
+				}
+				got, err := json.Marshal(htl.Snapshot())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(got) != string(want) {
+					t.Errorf("timeline snapshots diverge:\n  serial  %s\n  sharded %s", want, got)
+				}
+			})
+		}
+	}
+}
+
+// TestRunShardedAttributionByteIdentical: congestion attribution on a
+// sharded run — per-stage stall cycles, per-router heatmap rows, blame
+// counters including cross-shard blame on boundary channels — must
+// snapshot to the same JSON bytes as the serial run.
+func TestRunShardedAttributionByteIdentical(t *testing.T) {
+	top := testClos(t)
+	cfg := shardTestConfig()
+	inj := RateInjector{Load: 0.4, Pattern: traffic.Uniform(top.ExternalPorts()), PacketFlits: 2}
+
+	ser, err := Build(top, ConstantLatency(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sat := ser.NewAttribution()
+	if err := ser.AttachAttribution(sat); err != nil {
+		t.Fatal(err)
+	}
+	serSt := ser.Run(inj, 0.4)
+	want, err := json.Marshal(sat.Snapshot(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 3, 4} {
+		shn, err := Build(top, ConstantLatency(1), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hat := shn.NewAttribution()
+		if err := shn.AttachAttribution(hat); err != nil {
+			t.Fatal(err)
+		}
+		shSt, err := shn.RunSharded(inj, 0.4, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shSt != serSt {
+			t.Fatalf("shards=%d: stats diverge:\n  serial  %+v\n  sharded %+v", shards, serSt, shSt)
+		}
+		got, err := json.Marshal(hat.Snapshot(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("shards=%d: attribution snapshots diverge:\n  serial  %s\n  sharded %s", shards, want, got)
+		}
+	}
+}
+
+// TestRunShardedSaturatedObservers drives a sharded run into the
+// early-abort path with timeline and attribution attached: the timeline
+// must carry the serial truncation mark, the attribution snapshot must
+// match byte for byte, and the backpressure root-cause report plus the
+// saturation post-mortem — captured automatically on the non-drained
+// sharded run — must equal the serial ones.
+func TestRunShardedSaturatedObservers(t *testing.T) {
+	top := testClos(t)
+	cfg := shardTestConfig()
+	cfg.WarmupCycles, cfg.MeasureCycles = 100, 2000
+	inj := RateInjector{Load: 0.95, Pattern: traffic.Uniform(top.ExternalPorts()), PacketFlits: 2}
+
+	run := func(shards int) (Stats, string, string, string, string, error) {
+		n, err := Build(top, ConstantLatency(1), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.SetAbort(&AbortOptions{})
+		tl := obs.NewTimeline(32, 64)
+		n.AttachTimeline(tl)
+		at := n.NewAttribution()
+		if err := n.AttachAttribution(at); err != nil {
+			t.Fatal(err)
+		}
+		var st Stats
+		if shards > 1 {
+			st, err = n.RunSharded(inj, 0.95, shards)
+			if err != nil {
+				return st, "", "", "", "", err
+			}
+		} else {
+			st = n.Run(inj, 0.95)
+		}
+		tj, err := json.Marshal(tl.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		aj, err := json.Marshal(at.Snapshot(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bj, err := json.Marshal(n.Backpressure())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st, string(tj), string(aj), string(bj), n.SaturationPostMortem(st), nil
+	}
+
+	serSt, serTL, serAt, serBP, serPM, _ := run(1)
+	if !serSt.Aborted {
+		t.Fatalf("saturation case did not abort; test is vacuous (stats %+v)", serSt)
+	}
+	shSt, shTL, shAt, shBP, shPM, err := run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shSt != serSt {
+		t.Fatalf("stats diverge:\n  serial  %+v\n  sharded %+v", serSt, shSt)
+	}
+	if shTL != serTL {
+		t.Errorf("truncated timeline snapshots diverge:\n  serial  %s\n  sharded %s", serTL, shTL)
+	}
+	if shAt != serAt {
+		t.Errorf("attribution snapshots diverge:\n  serial  %s\n  sharded %s", serAt, shAt)
+	}
+	if shBP != serBP {
+		t.Errorf("backpressure reports diverge:\n  serial  %s\n  sharded %s", serBP, shBP)
+	}
+	if shPM != serPM {
+		t.Errorf("saturation post-mortems diverge:\n  serial  %s\n  sharded %s", serPM, shPM)
+	}
+}
+
+// TestRunShardedCheckerClean: the invariant checker riding a sharded run
+// of a deadlock-free configuration must pass — same conservation, credit
+// and VC-integrity scans at the serial cadence, no spurious findings —
+// and must not perturb the run's stats.
+func TestRunShardedCheckerClean(t *testing.T) {
+	for name, top := range map[string]*topo.Topology{"clos": testClos(t), "mesh": testMesh4x4(t)} {
+		t.Run(name, func(t *testing.T) {
+			cfg := shardTestConfig()
+			inj := RateInjector{Load: 0.4, Pattern: traffic.Uniform(top.ExternalPorts()), PacketFlits: 2}
+			ser, err := Build(top, ConstantLatency(1), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serSt := ser.Run(inj, 0.4)
+
+			shn, err := Build(top, ConstantLatency(1), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := shn.Check(CheckOptions{Every: 7}); err != nil {
+				t.Fatal(err)
+			}
+			shSt, err := shn.RunSharded(inj, 0.4, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v := shn.CheckViolations(); len(v) != 0 {
+				t.Fatalf("sharded checker found %d violations on a clean run; first: %s", len(v), v[0])
+			}
+			if shSt != serSt {
+				t.Fatalf("checker perturbed sharded stats:\n  unchecked serial %+v\n  checked sharded  %+v", serSt, shSt)
+			}
+		})
+	}
 }
 
 // TestRunShardedProbeMerge: a probe attached to a sharded run must
@@ -263,18 +464,41 @@ func TestSweepShardedMatchesSerial(t *testing.T) {
 	}
 }
 
-// TestSweepShardedRejectsGlobalObservers: the sweep surfaces the
-// sharded engine's observer errors instead of silently running serial.
-func TestSweepShardedRejectsGlobalObservers(t *testing.T) {
+// TestSweepShardedGlobalObserversMatchSerial: timeline sampling and
+// congestion attribution now ride through the sharded sweep engine; the
+// whole sweep result — per-point stats, backpressure reports, merged
+// timeline and merged attribution — must render to the same JSON bytes
+// as a serial sweep, and compose with parallel workers.
+func TestSweepShardedGlobalObserversMatchSerial(t *testing.T) {
 	top := testClos(t)
 	cfg := shardTestConfig()
 	build := func() (*Network, error) { return Build(top, ConstantLatency(1), cfg) }
 	injf := SyntheticInjector(traffic.Uniform(top.ExternalPorts()), cfg.PacketFlits)
-	if _, err := Sweep(build, injf, []float64{0.2}, SweepOptions{Shards: 2, TimelineInterval: 50}); err == nil {
-		t.Error("sweep with Shards and TimelineInterval did not error")
+	loads := []float64{0.2, 0.5}
+
+	serial, err := Sweep(build, injf, loads, SweepOptions{
+		Workers: 1, TimelineInterval: 25, Attribution: true})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, err := Sweep(build, injf, []float64{0.2}, SweepOptions{Shards: 2, Attribution: true}); err == nil {
-		t.Error("sweep with Shards and Attribution did not error")
+	sharded, err := Sweep(build, injf, loads, SweepOptions{
+		Workers: 2, Shards: 3, TimelineInterval: 25, Attribution: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("observer-on sweep results diverge:\n  serial  %s\n  sharded %s", want, got)
+	}
+	if serial.Timeline == nil || serial.Attribution == nil {
+		t.Fatal("serial sweep produced no timeline or attribution; test is vacuous")
 	}
 }
 
@@ -310,6 +534,105 @@ func TestRunShardedSteadyStateAllocs(t *testing.T) {
 	if extra := int64(long) - int64(base); extra > 128 {
 		t.Errorf("2400 extra steady-state cycles cost %d allocations (base run %d, long run %d); the sharded steady state must not allocate per cycle",
 			extra, base, long)
+	}
+}
+
+// TestRunShardedObserverAllocs extends the differential zero-alloc gate
+// to the observer-on sharded steady state: with a timeline and an
+// attribution collector attached, 2400 extra measurement cycles must
+// stay allocation-free on the cycle path. Tolerated growth is the
+// timeline's amortized sample appends (the long run closes ~75 more
+// windows) plus runtime jitter.
+func TestRunShardedObserverAllocs(t *testing.T) {
+	top := testClos(t)
+	inj := RateInjector{Load: 0.4, Pattern: traffic.Uniform(top.ExternalPorts()), PacketFlits: 2}
+	runAllocs := func(measure int) uint64 {
+		cfg := shardTestConfig()
+		cfg.MeasureCycles = measure
+		n, err := Build(top, ConstantLatency(1), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.AttachTimeline(obs.NewTimeline(32, 128))
+		if err := n.AttachAttribution(n.NewAttribution()); err != nil {
+			t.Fatal(err)
+		}
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		if _, err := n.RunSharded(inj, 0.4, 4); err != nil {
+			t.Fatal(err)
+		}
+		runtime.ReadMemStats(&after)
+		return after.Mallocs - before.Mallocs
+	}
+	base, long := runAllocs(600), runAllocs(3000)
+	if extra := int64(long) - int64(base); extra > 128 {
+		t.Errorf("2400 extra observer-on steady-state cycles cost %d allocations (base run %d, long run %d); observers must not allocate per cycle",
+			extra, base, long)
+	}
+}
+
+// TestRunShardedShardStats: the shard-runtime introspection collector
+// must record one run with the partition's true shape — shard count,
+// epoch, per-shard router/terminal ranges tiling the network, barrier
+// and cycle counts consistent with the run — without perturbing results.
+func TestRunShardedShardStats(t *testing.T) {
+	top := testClos(t)
+	cfg := shardTestConfig()
+	inj := RateInjector{Load: 0.4, Pattern: traffic.Uniform(top.ExternalPorts()), PacketFlits: 2}
+
+	ser, err := Build(top, ConstantLatency(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serSt := ser.Run(inj, 0.4)
+
+	shn, err := Build(top, ConstantLatency(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := &obs.ShardStats{}
+	shn.SetShardStats(ss)
+	shSt, err := shn.RunSharded(inj, 0.4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shSt != serSt {
+		t.Fatalf("shard-stats collection perturbed stats:\n  serial  %+v\n  sharded %+v", serSt, shSt)
+	}
+	snap := ss.Snapshot()
+	if snap == nil {
+		t.Fatal("ShardStats recorded nothing")
+	}
+	if snap.Runs != 1 || snap.Shards != 3 {
+		t.Fatalf("snapshot runs=%d shards=%d, want 1 run on 3 shards", snap.Runs, snap.Shards)
+	}
+	if snap.Epoch < 1 {
+		t.Fatalf("epoch %d < 1", snap.Epoch)
+	}
+	if snap.Barriers <= 0 || snap.Cycles <= 0 {
+		t.Fatalf("barriers=%d cycles=%d, want both positive", snap.Barriers, snap.Cycles)
+	}
+	if len(snap.PerShard) != 3 {
+		t.Fatalf("per-shard rows %d, want 3", len(snap.PerShard))
+	}
+	var routers, terms int
+	for i, row := range snap.PerShard {
+		if row.Routers <= 0 {
+			t.Fatalf("shard %d owns %d routers", i, row.Routers)
+		}
+		routers += row.Routers
+		terms += row.Terminals
+		if row.Segments <= 0 {
+			t.Fatalf("shard %d ran %d segments", i, row.Segments)
+		}
+	}
+	if routers != shn.R || terms != shn.T {
+		t.Fatalf("shard rows cover %d routers / %d terminals, want %d / %d", routers, terms, shn.R, shn.T)
+	}
+	if snap.Imbalance < 1 {
+		t.Fatalf("imbalance %g < 1", snap.Imbalance)
 	}
 }
 

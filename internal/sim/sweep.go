@@ -71,11 +71,15 @@ type SweepOptions struct {
 	// Shards, when > 1, runs every point through the sharded engine
 	// (Network.RunSharded) on that many shards instead of the serial
 	// loop. Results are bit-identical to Shards <= 1; it composes with
-	// Workers (points in parallel, each point itself sharded). Options
-	// needing a global cycle-by-cycle view (TimelineInterval,
-	// Attribution) are incompatible and fail the sweep with the
-	// sharded engine's error.
+	// Workers (points in parallel, each point itself sharded) and with
+	// the shard-aware observers (TimelineInterval, Attribution, Abort),
+	// whose merged output stays byte-identical to a serial sweep.
 	Shards int
+	// ShardStats, when non-nil (and Shards > 1), collects shard-runtime
+	// introspection from every sharded point: per-shard busy/barrier-wait
+	// wall-clock, outbox high-water marks, epoch and partition shape.
+	// Wall-clock instrumentation only — results are unchanged.
+	ShardStats *obs.ShardStats
 	// Probe attaches a fresh collector to every point, filling
 	// SweepPoint.Probe and SweepResult.Aggregate's counters.
 	Probe bool
@@ -213,6 +217,9 @@ func Sweep(build Builder, injf InjectorFactory, loads []float64, opt SweepOption
 		}
 		var st Stats
 		if opt.Shards > 1 {
+			if opt.ShardStats != nil {
+				n.SetShardStats(opt.ShardStats)
+			}
 			if st, err = n.RunSharded(inj, loads[i], opt.Shards); err != nil {
 				return err
 			}
