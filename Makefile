@@ -66,11 +66,14 @@ race:
 # simulator against internal/sim/refsim, FuzzShardEquivalence adds the
 # shard-count dimension to the same three-way oracle (its committed
 # seeds include prime shard counts and more shards than routers),
+# FuzzResetEquivalence dirties a network, Resets it and requires the
+# rerun to match both a fresh build and the reference bit for bit,
 # FuzzSweepDeterminism diffs parallel sweeps against serial ones.
 # Failures print a replay spec for `wsswitch -replay`.
 fuzz-smoke:
 	$(GO) test ./internal/sim/refsim -run NONE -fuzz 'FuzzSimEquivalence$$' -fuzztime 10s
 	$(GO) test ./internal/sim/refsim -run NONE -fuzz 'FuzzShardEquivalence$$' -fuzztime 10s
+	$(GO) test ./internal/sim/refsim -run NONE -fuzz 'FuzzResetEquivalence$$' -fuzztime 10s
 	$(GO) test ./internal/sim/refsim -run NONE -fuzz 'FuzzSweepDeterminism$$' -fuzztime 10s
 
 # cover enforces the total -short coverage floor (COVER_FLOOR).
@@ -108,7 +111,7 @@ bench-smoke:
 # intentionally re-pin after a known change: make bench-json DIFF_FLAGS=
 DIFF_FLAGS ?= -diff BENCH_sim.json
 bench-json:
-	{ $(GO) test -run NONE -short -bench 'BenchmarkSimCycle$$|BenchmarkSimTimeline|BenchmarkSimTracer|BenchmarkSweepSerial$$|BenchmarkSweepParallel$$|BenchmarkSweepExhaustive$$|BenchmarkSweepAdaptive$$' -benchmem . ; \
+	{ $(GO) test -run NONE -short -bench 'BenchmarkSimCycle$$|BenchmarkSimTimeline|BenchmarkSimTracer|BenchmarkSweepSerial$$|BenchmarkSweepParallel$$|BenchmarkSweepReuse$$|BenchmarkSweepExhaustive$$|BenchmarkSweepAdaptive$$|BenchmarkNetworkResetVsBuild$$' -benchmem . ; \
 	  $(GO) test -run NONE -short -bench 'BenchmarkSimSteadyState|BenchmarkSimAttribution|BenchmarkSimCycleSaturated|BenchmarkSimCycleKnee$$|BenchmarkSimSharded' -benchmem ./internal/sim ; } \
 	| $(GO) run ./cmd/benchjson $(DIFF_FLAGS) > BENCH_sim.json.tmp
 	mv BENCH_sim.json.tmp BENCH_sim.json

@@ -219,11 +219,11 @@ func BenchmarkSimTracerOn(b *testing.B) {
 	benchSimCycle(b, func(n *sim.Network) { n.Trace(obs.NewFlightRecorder(1 << 16)) })
 }
 
-// benchSweep runs a 12-point load sweep over a 128-port Clos through the
-// parallel sweep engine. Loads stay below saturation so every point
-// drains quickly and the benchmark measures simulation, not drain
-// deadlines.
-func benchSweep(b *testing.B, workers int) {
+// sweepFixture returns the 128-port Clos fixture shared by the sweep
+// benchmarks: a builder, the matching injector factory, and a 12-point
+// load grid. Loads stay below saturation so every point drains quickly
+// and the benchmarks measure simulation, not drain deadlines.
+func sweepFixture(b *testing.B) (sim.Builder, sim.InjectorFactory, []float64) {
 	b.Helper()
 	chip, err := ssc.MustTH5(200).Deradix(8)
 	if err != nil {
@@ -244,6 +244,13 @@ func benchSweep(b *testing.B, workers int) {
 	}
 	build := func() (*sim.Network, error) { return sim.Build(cl, sim.ConstantLatency(1), cfg) }
 	injf := sim.SyntheticInjector(traffic.Uniform(128), cfg.PacketFlits)
+	return build, injf, loads
+}
+
+// benchSweep runs the fixture sweep through the parallel sweep engine.
+func benchSweep(b *testing.B, workers int) {
+	b.Helper()
+	build, injf, loads := sweepFixture(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := sim.Sweep(build, injf, loads, sim.SweepOptions{Workers: workers})
@@ -260,16 +267,71 @@ func benchSweep(b *testing.B, workers int) {
 // against multi-worker execution of the same deterministic sweep; the
 // ratio of their ns/op is the engine's wall-clock speedup on this
 // machine (near-linear up to the point count on multi-core hardware).
-// The parallel variant pins an explicit worker count: Workers: 0 means
-// GOMAXPROCS, which on a single-core machine is 1 and silently selects
-// the serial fast path — the two benchmarks then measure the same code
-// and the "speedup" reads as exactly 1.0. Four workers always exercise
-// the goroutine pool, the atomic point counter, and the ordered
-// reduction, so the parallel number is honest everywhere: near-linear
-// speedup on multi-core hardware, scheduling overhead (a slightly
-// larger ns/op) on one core.
+// The parallel variant pins an explicit worker count (Workers: 0 means
+// GOMAXPROCS, which on one core silently equals the serial path), but
+// Sweep itself collapses any worker count to the inline serial path
+// when GOMAXPROCS==1 — results are bit-identical for every worker
+// count, so a one-core fan-out would be pure scheduling overhead. The
+// pinned parallel number therefore measures real pool overhead on
+// multi-core hardware and exactly matches SweepSerial on one core,
+// instead of charging 1-core scheduling noise to the engine.
 func BenchmarkSweepSerial(b *testing.B)   { benchSweep(b, 1) }
 func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 4) }
+
+// BenchmarkSweepReuse measures warm-pool sweep steady state: one
+// network built before the timer, every sweep (and every point within
+// it) served by Reset instead of Build. The gap between this and
+// BenchmarkSweepSerial is the one cold Build each serial sweep still
+// pays for its worker network; allocs/op here is the true per-sweep
+// steady-state allocation floor (per-point slices, injectors, stats).
+func BenchmarkSweepReuse(b *testing.B) {
+	build, injf, loads := sweepFixture(b)
+	rb := sim.ReusableBuilder(build)
+	if _, err := rb(); err != nil { // warm the network outside the timer
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Sweep(rb, injf, loads, sim.SweepOptions{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Points) != len(loads) {
+			b.Fatalf("sweep returned %d points", len(res.Points))
+		}
+	}
+}
+
+var netSink *sim.Network
+
+// BenchmarkNetworkResetVsBuild pins the cost Reset saves: the build
+// sub-benchmark constructs the 128-port sweep network from nothing each
+// iteration, the reset sub-benchmark rewinds one warm network. The
+// ns/op and B/op gap between the two is the per-point construction cost
+// every warm sweep evaluation now skips; reset must stay at 0 allocs/op.
+func BenchmarkNetworkResetVsBuild(b *testing.B) {
+	build, _, _ := sweepFixture(b)
+	b.Run("build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n, err := build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			netSink = n
+		}
+	})
+	b.Run("reset", func(b *testing.B) {
+		n, err := build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n.Reset(int64(i))
+		}
+		netSink = n
+	})
+}
 
 // benchSatSweep runs a load sweep that deliberately crosses the
 // saturation knee of a small DOR-routed mesh (knee near load 0.12 under

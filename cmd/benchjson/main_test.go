@@ -79,12 +79,20 @@ func TestCompare(t *testing.T) {
 			bench("SimSteadyState", 46000, 2),
 			bench("SweepSerial", 235000000, 100),
 		}}, 1},
-		// A nonzero-alloc baseline may drift without tripping the gate;
-		// only the zero-alloc contract is absolute.
+		// A nonzero-alloc baseline may drift within tolerance plus the
+		// absolute slack (parallel sweeps legitimately swing by up to a
+		// network build depending on which workers win points)...
 		{"alloc drift on nonzero baseline", &Output{Benchmarks: []Benchmark{
 			bench("SimSteadyState", 46000, 0),
 			bench("SweepSerial", 235000000, 150),
 		}}, 0},
+		// ...but an order-of-magnitude allocation jump — per-point network
+		// construction creeping back into a warm sweep — trips the gate
+		// even with ns/op unchanged.
+		{"alloc regression on nonzero baseline", &Output{Benchmarks: []Benchmark{
+			bench("SimSteadyState", 46000, 0),
+			bench("SweepSerial", 235000000, 18000),
+		}}, 1},
 		{"missing benchmark", &Output{Benchmarks: []Benchmark{
 			bench("SimSteadyState", 46000, 0),
 		}}, 1},

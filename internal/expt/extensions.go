@@ -138,7 +138,10 @@ func extMeshSim(o Options) (*Table, error) {
 		f := fabrics[i]
 		terms := f.topo.ExternalPorts()
 		injf := sim.SyntheticInjector(traffic.Uniform(terms), 4)
-		build := func() (*sim.Network, error) { return sim.Build(f.topo, sim.ConstantLatency(1), cfg) }
+		// Both evaluations below are strictly serial (LatencyVsLoad runs
+		// Workers: 1), so one warm network serves the zero-load probe and
+		// every sweep point, Reset between runs instead of rebuilt.
+		build := sim.ReusableBuilder(func() (*sim.Network, error) { return sim.Build(f.topo, sim.ConstantLatency(1), cfg) })
 		zl, err := sim.ZeroLoadLatency(build, injf)
 		if err != nil {
 			return err

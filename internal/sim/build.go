@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"log/slog"
 	"math/rand"
+	"sync"
 
 	"waferswitch/internal/obs"
 	"waferswitch/internal/topo"
@@ -149,10 +150,13 @@ type Network struct {
 	termChIn []int32 // terminal -> its injection channel
 
 	destRouter []int32 // terminal -> hosting router
-	nextPorts  [][][]int32
+	// nextPorts and nextFlat point into the immutable routeSet shared by
+	// every Network built from a structurally identical topology (see
+	// routesFor): they are read-only after Build and survive Reset.
 	// nextFlat is computeRoute's flattened view of nextPorts
 	// (nextFlat[r*R+d] == nextPorts[r][d]): one indexed load instead of
 	// two dependent slice-header chases per route computation.
+	nextPorts  [][][]int32
 	nextFlat   [][]int32
 	egressPort []int32 // terminal -> output port on hosting router
 
@@ -190,11 +194,22 @@ type Network struct {
 	// shard.go). Empty for serial runs.
 	bnd []bndRef
 
+	// plan caches the sharded execution layout — partition, per-shard
+	// ring layouts, boundary refs, outboxes and the shard Network copies
+	// — for the last shard count RunSharded ran with (see shard.go). It
+	// is derived purely from immutable structure, so it survives Reset
+	// and repeated sharded runs reuse it allocation-free.
+	plan *shardPlan
+
 	// termRng holds one private random stream per terminal (see
 	// TermRNG): injection draws from termRng[t], so the traffic
 	// realization is independent of the global injection scan order and
 	// identical whether terminals are stepped by one goroutine or many.
 	// termSeq counts packets generated per terminal (the salt input).
+	// The rand.Rand wrappers are allocated once over termSrc and kept
+	// for the network's lifetime; Reseed rewrites the 8-byte source
+	// states in place, so reseeding (and Reset) never allocates.
+	termSrc []splitmix64
 	termRng []*rand.Rand
 	termSeq []uint32
 
@@ -529,13 +544,12 @@ func Build(t *topo.Topology, lat LinkLatency, cfg Config) (*Network, error) {
 		}
 	}
 
-	if err := n.buildRoutes(t); err != nil {
+	rs, err := routesFor(t)
+	if err != nil {
 		return nil, err
 	}
-	n.nextFlat = make([][]int32, R*R)
-	for r := 0; r < R; r++ {
-		copy(n.nextFlat[r*R:(r+1)*R], n.nextPorts[r])
-	}
+	n.nextPorts = rs.nextPorts
+	n.nextFlat = rs.nextFlat
 	return n, nil
 }
 
@@ -556,13 +570,20 @@ func (n *Network) Reseed(seed int64) {
 	}
 }
 
-// initTermRng (re)builds the per-terminal random streams for seed.
+// initTermRng (re)builds the per-terminal random streams for seed. The
+// rand.Rand wrappers are created once over the termSrc backing slice;
+// subsequent calls only rewrite the source states, so Reseed and Reset
+// are allocation-free.
 func (n *Network) initTermRng(seed int64) {
 	if n.termRng == nil {
+		n.termSrc = make([]splitmix64, n.T)
 		n.termRng = make([]*rand.Rand, n.T)
+		for t := range n.termRng {
+			n.termRng[t] = rand.New(&n.termSrc[t])
+		}
 	}
-	for t := range n.termRng {
-		n.termRng[t] = TermRNG(seed, t)
+	for t := range n.termSrc {
+		n.termSrc[t] = splitmix64{x: termRNGState(seed, t)}
 	}
 }
 
@@ -570,26 +591,72 @@ func (n *Network) initTermRng(seed int64) {
 // all ones: 1<<64 is 0 on uint64, and 0-1 wraps).
 func fullVCMask(v int) uint64 { return uint64(1)<<v - 1 }
 
-// buildRoutes computes, for every (router, destination router) pair, the
-// set of output ports toward the destination: dimension-order next hops
-// for mesh topologies (deadlock-free wormhole routing), shortest-path
-// candidates from one BFS per destination otherwise (Clos and the other
-// indirect topologies are cycle-free under up/down traversal).
-func (n *Network) buildRoutes(t *topo.Topology) error {
-	R := n.R
-	// Adjacency: for each router, its inter-router output ports and peers.
+// routeSet is the immutable half of a built network's routing state:
+// the per-(router, destination) candidate output ports and their
+// flattened view. It is a pure function of the topology's structure
+// (see topo.CanonicalHash), computed once per structurally distinct
+// topology and shared read-only across every Network built from it —
+// workers, sweep points, and shard copies all alias the same tables.
+type routeSet struct {
+	nextPorts [][][]int32
+	nextFlat  [][]int32
+}
+
+// routeCache maps topo.CanonicalHash -> *routeSet. Entries live for the
+// process; route tables are small relative to a built Network and the
+// set of distinct topologies per process is bounded by the experiment
+// grid. The cache is also the groundwork for keying simulation results
+// by topology identity (ROADMAP item 2).
+var routeCache sync.Map
+
+// routesFor returns the shared route tables for t, computing and
+// caching them on first use. Concurrent first builds may compute the
+// tables twice; LoadOrStore keeps exactly one copy.
+func routesFor(t *topo.Topology) (*routeSet, error) {
+	key := t.CanonicalHash()
+	if v, ok := routeCache.Load(key); ok {
+		return v.(*routeSet), nil
+	}
+	rs, err := computeRoutes(t)
+	if err != nil {
+		return nil, err
+	}
+	if v, loaded := routeCache.LoadOrStore(key, rs); loaded {
+		return v.(*routeSet), nil
+	}
+	return rs, nil
+}
+
+// computeRoutes computes, for every (router, destination router) pair,
+// the set of output ports toward the destination: dimension-order next
+// hops for mesh topologies (deadlock-free wormhole routing),
+// shortest-path candidates from one BFS per destination otherwise (Clos
+// and the other indirect topologies are cycle-free under up/down
+// traversal). Port numbers mirror Build's assignment — terminals first,
+// then link lanes in declared order — so the tables are valid for any
+// Network built from a topology with the same structure.
+func computeRoutes(t *topo.Topology) (*routeSet, error) {
+	R := len(t.Nodes)
+	// Adjacency: for each router, its inter-router output ports and
+	// peers, in the order Build creates the corresponding channels (per
+	// lane: A's forward port, then B's reverse port).
+	numPorts := make([]int32, R)
+	for i, node := range t.Nodes {
+		numPorts[i] = int32(node.ExternalPorts)
+	}
 	type edge struct{ port, peer int32 }
 	adj := make([][]edge, R)
-	for ci := range n.channels {
-		c := &n.channels[ci]
-		if c.srcRouter < 0 {
-			continue
+	for _, l := range t.Links {
+		for i := 0; i < l.Lanes; i++ {
+			adj[l.A] = append(adj[l.A], edge{port: numPorts[l.A] + int32(i), peer: int32(l.B)})
+			adj[l.B] = append(adj[l.B], edge{port: numPorts[l.B] + int32(i), peer: int32(l.A)})
 		}
-		adj[c.srcRouter] = append(adj[c.srcRouter], edge{port: c.srcPort, peer: c.dstRouter})
+		numPorts[l.A] += int32(l.Lanes)
+		numPorts[l.B] += int32(l.Lanes)
 	}
-	n.nextPorts = make([][][]int32, R)
-	for r := range n.nextPorts {
-		n.nextPorts[r] = make([][]int32, R)
+	rs := &routeSet{nextPorts: make([][][]int32, R)}
+	for r := range rs.nextPorts {
+		rs.nextPorts[r] = make([][]int32, R)
 	}
 	if t.MeshRows > 0 && t.MeshCols > 0 {
 		// Dimension-order (X then Y) routing on the grid.
@@ -614,15 +681,15 @@ func (n *Network) buildRoutes(t *topo.Topology) error {
 				}
 				for _, e := range adj[r] {
 					if int(e.peer) == want {
-						n.nextPorts[r][d] = append(n.nextPorts[r][d], e.port)
+						rs.nextPorts[r][d] = append(rs.nextPorts[r][d], e.port)
 					}
 				}
-				if len(n.nextPorts[r][d]) == 0 {
-					return fmt.Errorf("sim: mesh router %d has no DOR hop toward %d", r, d)
+				if len(rs.nextPorts[r][d]) == 0 {
+					return nil, fmt.Errorf("sim: mesh router %d has no DOR hop toward %d", r, d)
 				}
 			}
 		}
-		return nil
+		return rs.flatten(), nil
 	}
 	dist := make([]int32, R)
 	queue := make([]int32, 0, R)
@@ -648,16 +715,26 @@ func (n *Network) buildRoutes(t *topo.Topology) error {
 				continue
 			}
 			if dist[r] == -1 {
-				return fmt.Errorf("sim: router %d cannot reach router %d", r, d)
+				return nil, fmt.Errorf("sim: router %d cannot reach router %d", r, d)
 			}
 			for _, e := range adj[r] {
 				if dist[e.peer] == dist[r]-1 {
-					n.nextPorts[r][d] = append(n.nextPorts[r][d], e.port)
+					rs.nextPorts[r][d] = append(rs.nextPorts[r][d], e.port)
 				}
 			}
 		}
 	}
-	return nil
+	return rs.flatten(), nil
+}
+
+// flatten fills nextFlat from nextPorts and returns rs.
+func (rs *routeSet) flatten() *routeSet {
+	R := len(rs.nextPorts)
+	rs.nextFlat = make([][]int32, R*R)
+	for r := 0; r < R; r++ {
+		copy(rs.nextFlat[r*R:(r+1)*R], rs.nextPorts[r])
+	}
+	return rs
 }
 
 // Terminals returns the number of terminals attached to the network.

@@ -90,6 +90,114 @@ func FuzzShardEquivalence(f *testing.F) {
 	})
 }
 
+// FuzzResetEquivalence fuzzes Network.Reset against both oracles: a
+// network is deliberately dirtied — run once at a fuzz-chosen load and
+// seed, serially or sharded (dirty bit 0), so rings, credits, the
+// packet table, RNG streams and the cached shard plan all carry state —
+// then Reset to the spec's seed and run the spec. The result must match
+// a freshly built network bit for bit (Stats, latency histogram,
+// ordered delivery log) AND the dense reference simulator, with the
+// runtime invariant checker clean on the reset run. The raw tuple is
+// FuzzSimEquivalence's plus the dirty byte, a separate target for the
+// same reason FuzzShardEquivalence is one: extending the existing
+// signature would orphan its corpus.
+func FuzzResetEquivalence(f *testing.F) {
+	// Seed corpus: one case per family — including both deadlock-capable
+	// families, where the dirty run stalls and hits the drain deadline —
+	// with serial and sharded dirtying, light and saturating dirty loads.
+	f.Add(uint8(0), uint8(0), uint8(0), uint8(1), uint8(1), uint8(4), uint8(1), uint8(0), uint8(0), uint8(1), uint8(1), uint16(40), uint16(100), int64(1), uint16(200), uint8(0))
+	f.Add(uint8(1), uint8(1), uint8(1), uint8(0), uint8(3), uint8(0), uint8(3), uint8(1), uint8(1), uint8(0), uint8(0), uint16(30), uint16(90), int64(-7), uint16(550), uint8(1))
+	f.Add(uint8(2), uint8(2), uint8(2), uint8(2), uint8(0), uint8(11), uint8(0), uint8(2), uint8(2), uint8(2), uint8(3), uint16(80), uint16(150), int64(424242), uint16(30), uint8(93))
+	f.Add(uint8(3), uint8(0), uint8(3), uint8(3), uint8(2), uint8(6), uint8(2), uint8(0), uint8(2), uint8(1), uint8(2), uint16(60), uint16(140), int64(987654321), uint16(420), uint8(7))
+	f.Add(uint8(0), uint8(1), uint8(0), uint8(0), uint8(0), uint8(0), uint8(3), uint8(0), uint8(0), uint8(1), uint8(1), uint16(50), uint16(150), int64(77), uint16(930), uint8(255))
+	f.Fuzz(func(t *testing.T, family, size, pattern, link, vcs, buf, pkt, rci, rco, pipe, term uint8,
+		warmup, measure uint16, seed int64, loadMil uint16, dirty uint8) {
+		s := SpecFromRaw(family, size, pattern, link, vcs, buf, pkt, rci, rco, pipe, term, warmup, measure, seed, loadMil)
+		top, err := s.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := s.Config()
+		lat := sim.ConstantLatency(s.LinkLat)
+		inject := func() sim.Injector {
+			inj, err := s.Injector(top.ExternalPorts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return inj
+		}
+
+		// Fresh baseline.
+		fresh, err := sim.Build(top, lat, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh.RecordDeliveries()
+		freshSt := fresh.Run(inject(), s.Load)
+		freshHist := fresh.LatencyHistogram()
+
+		// Dirty a second network at a different seed and load, then Reset
+		// it back to the spec's seed.
+		reused, err := sim.Build(top, lat, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reused.Reseed(s.Seed + 1 + int64(dirty))
+		dirtyLoad := 0.02 + float64(dirty%94)/100
+		dirtyInj := sim.RateInjector{Load: dirtyLoad, Pattern: traffic.Uniform(top.ExternalPorts()), PacketFlits: s.Pkt}
+		if dirty&1 != 0 {
+			if _, err := reused.RunSharded(dirtyInj, dirtyLoad, 2+int(dirty>>1)%3); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			reused.Run(dirtyInj, dirtyLoad)
+		}
+		reused.Reset(s.Seed)
+		copt := sim.CheckOptions{}
+		if !s.DeadlockFree() {
+			copt.Watchdog = -1
+		}
+		if err := reused.Check(copt); err != nil {
+			t.Fatal(err)
+		}
+		reused.RecordDeliveries()
+		resetSt := reused.Run(inject(), s.Load)
+		if v := reused.CheckViolations(); len(v) != 0 {
+			t.Fatalf("spec %q: checker found %d violations on the reset run; first: %s", s, len(v), v[0])
+		}
+		resetHist := reused.LatencyHistogram()
+
+		if resetSt != freshSt {
+			t.Fatalf("spec %q dirty=%d: reset run diverges from fresh build:\n  fresh %+v\n  reset %+v", s, dirty, freshSt, resetSt)
+		}
+		if !resetHist.Equal(&freshHist) {
+			t.Fatalf("spec %q dirty=%d: latency histograms diverge: fresh n=%d sum=%g, reset n=%d sum=%g",
+				s, dirty, freshHist.Count(), freshHist.Sum(), resetHist.Count(), resetHist.Sum())
+		}
+		fd, rd := fresh.Deliveries(), reused.Deliveries()
+		if len(fd) != len(rd) {
+			t.Fatalf("spec %q dirty=%d: delivery counts diverge: fresh %d, reset %d", s, dirty, len(fd), len(rd))
+		}
+		for i := range fd {
+			if fd[i] != rd[i] {
+				t.Fatalf("spec %q dirty=%d: delivery log diverges at index %d: fresh %+v, reset %+v", s, dirty, i, fd[i], rd[i])
+			}
+		}
+
+		// The dense reference simulator is the independent oracle.
+		ref, err := Run(top, lat, cfg, inject(), s.Load)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resetSt != ref.Stats {
+			t.Fatalf("spec %q dirty=%d: reset run diverges from reference:\n  reference %+v\n  reset     %+v", s, dirty, ref.Stats, resetSt)
+		}
+		if d := diffDeliveries(rd, ref.Deliveries); d != "" {
+			t.Fatalf("spec %q dirty=%d: %s", s, dirty, d)
+		}
+	})
+}
+
 // FuzzSweepDeterminism fuzzes the parallel sweep engine's determinism
 // contract: a sweep fanned across W workers must be bit-identical —
 // per-point Stats and the merged aggregate histogram — to the same

@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"waferswitch/internal/ssc"
+	"waferswitch/internal/topo"
+	"waferswitch/internal/traffic"
+)
+
+// resetFamilies returns one topology per routing family: up/down BFS on
+// the Clos, dimension-order routing on the mesh, and BFS minimal
+// routing on the flattened butterfly and dragonfly (the two families
+// whose configurations can wormhole-deadlock — a Reset network must
+// stall and hit the drain deadline exactly like a fresh one).
+func resetFamilies(t *testing.T) map[string]*topo.Topology {
+	t.Helper()
+	chip16, err := ssc.MustTH5(200).Deradix(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fbfly, err := topo.FlattenedButterfly(2, 3, chip16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dfly, err := topo.Dragonfly(3, 2, 1, 1, chip16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*topo.Topology{
+		"clos":  testClos(t),
+		"mesh":  testMesh4x4(t),
+		"fbfly": fbfly,
+		"dfly":  dfly,
+	}
+}
+
+// TestResetEquivalence is the build-vs-reset equivalence suite: one
+// network per routing family serves every (shards, load) combination,
+// Reset between runs, and each run must be indistinguishable — Stats,
+// latency histogram, probe snapshot JSON, and the ordered delivery
+// log — from a network freshly built for that combination. Iterating
+// shard counts outermost makes consecutive sharded runs share the
+// cached shard plan, so plan reuse across points is covered too, as are
+// the serial-after-sharded and sharded-after-serial transitions.
+func TestResetEquivalence(t *testing.T) {
+	cfg := shardTestConfig()
+	loads := []float64{0.1, 0.4, 0.7}
+	for name, top := range resetFamilies(t) {
+		t.Run(name, func(t *testing.T) {
+			inj := func(load float64) Injector {
+				return RateInjector{Load: load, Pattern: traffic.Uniform(top.ExternalPorts()), PacketFlits: cfg.PacketFlits}
+			}
+			reused, err := Build(top, ConstantLatency(1), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range []int{1, 2, 4} {
+				for _, load := range loads {
+					t.Run(fmt.Sprintf("shards=%d/load=%g", shards, load), func(t *testing.T) {
+						run := func(n *Network) (Stats, string, []Delivery) {
+							n.RecordDeliveries()
+							if err := n.AttachProbe(n.NewProbe()); err != nil {
+								t.Fatal(err)
+							}
+							var st Stats
+							if shards > 1 {
+								st, err = n.RunSharded(inj(load), load, shards)
+								if err != nil {
+									t.Fatal(err)
+								}
+							} else {
+								st = n.Run(inj(load), load)
+							}
+							snap, err := json.Marshal(n.Snapshot())
+							if err != nil {
+								t.Fatal(err)
+							}
+							return st, string(snap), n.Deliveries()
+						}
+						fresh, err := Build(top, ConstantLatency(1), cfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						wantSt, wantSnap, wantDel := run(fresh)
+						wantHist := fresh.LatencyHistogram()
+
+						reused.Reset(cfg.Seed)
+						gotSt, gotSnap, gotDel := run(reused)
+						gotHist := reused.LatencyHistogram()
+
+						if gotSt != wantSt {
+							t.Errorf("stats diverge:\n  fresh %+v\n  reset %+v", wantSt, gotSt)
+						}
+						if !gotHist.Equal(&wantHist) {
+							t.Errorf("latency histograms diverge: fresh n=%d sum=%g, reset n=%d sum=%g",
+								wantHist.Count(), wantHist.Sum(), gotHist.Count(), gotHist.Sum())
+						}
+						if gotSnap != wantSnap {
+							t.Errorf("probe snapshots diverge:\n  fresh %s\n  reset %s", wantSnap, gotSnap)
+						}
+						if len(gotDel) != len(wantDel) {
+							t.Fatalf("delivery counts diverge: fresh %d, reset %d", len(wantDel), len(gotDel))
+						}
+						for i := range wantDel {
+							if gotDel[i] != wantDel[i] {
+								t.Fatalf("delivery log diverges at index %d: fresh %+v, reset %+v", i, wantDel[i], gotDel[i])
+							}
+						}
+					})
+				}
+			}
+		})
+	}
+}
+
+// TestRouteCacheShared pins the immutable-topology split: two networks
+// built from content-identical topologies — including a separately
+// constructed copy, and builds under different simulator configs — must
+// alias the same route tables (routes depend only on the topology, so
+// the cache is keyed by topo.CanonicalHash), while a structurally
+// different topology must not.
+func TestRouteCacheShared(t *testing.T) {
+	top := testClos(t)
+	cfg := shardTestConfig()
+	n1, err := Build(top, ConstantLatency(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := Build(top, ConstantLatency(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &n1.nextFlat[0] != &n2.nextFlat[0] {
+		t.Error("two builds of the same topology do not share route tables")
+	}
+	copyTop := testClos(t) // fresh object, identical content
+	cfg2 := cfg
+	cfg2.NumVCs, cfg2.BufPerPort = 4, 16
+	n3, err := Build(copyTop, ConstantLatency(3), cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &n1.nextFlat[0] != &n3.nextFlat[0] {
+		t.Error("a content-identical topology copy does not share route tables")
+	}
+	mesh := testMesh4x4(t)
+	if top.CanonicalHash() == mesh.CanonicalHash() {
+		t.Fatal("clos and mesh hash identically; route-table separation is untestable")
+	}
+	m, err := Build(mesh, ConstantLatency(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &m.nextFlat[0] == &n1.nextFlat[0] {
+		t.Error("different topologies share route tables")
+	}
+}
+
+// TestSweepReuseAllocs is the differential allocation gate on warm
+// sweeps: once a ReusableBuilder's network is warm (built and swept
+// once, so every internal slice has reached steady capacity), a further
+// identical sweep must allocate almost nothing — no Build, no Reset
+// allocations, just the sweep engine's per-point result slices and the
+// boxed per-point injectors — and in particular far less than a cold
+// sweep that constructs its worker network.
+func TestSweepReuseAllocs(t *testing.T) {
+	top := testClos(t)
+	cfg := shardTestConfig()
+	build := func() (*Network, error) { return Build(top, ConstantLatency(1), cfg) }
+	injf := SyntheticInjector(traffic.Uniform(top.ExternalPorts()), cfg.PacketFlits)
+	loads := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
+
+	mallocs := func(f func()) uint64 {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		f()
+		runtime.ReadMemStats(&after)
+		return after.Mallocs - before.Mallocs
+	}
+	sweep := func(b Builder) func() {
+		return func() {
+			res, err := Sweep(b, injf, loads, SweepOptions{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Points) != len(loads) {
+				t.Fatalf("sweep returned %d points", len(res.Points))
+			}
+		}
+	}
+
+	cold := mallocs(sweep(build))
+	rb := ReusableBuilder(build)
+	sweep(rb)() // warm: build the network and let every slice reach steady capacity
+	warm := mallocs(sweep(rb))
+	if warm*4 > cold {
+		t.Errorf("warm sweep allocated %d objects vs %d cold; reuse must eliminate per-sweep construction", warm, cold)
+	}
+	if perPoint := warm / uint64(len(loads)); perPoint > 32 {
+		t.Errorf("warm sweep allocated %d objects (%d/point); the steady-state point path must be allocation-free beyond the engine's own bookkeeping",
+			warm, perPoint)
+	}
+}

@@ -27,14 +27,20 @@ func (s *splitmix64) Uint64() uint64 {
 func (s *splitmix64) Int63() int64    { return int64(s.Uint64() >> 1) }
 func (s *splitmix64) Seed(seed int64) { s.x = uint64(seed) }
 
+// termRNGState is the initial splitmix64 state of terminal term's
+// stream for a run seeded with seed. The per-terminal states are
+// decorrelated with a second odd constant so adjacent terminals do not
+// sample adjacent points of one Weyl orbit.
+func termRNGState(seed int64, term int) uint64 {
+	return uint64(seed)*0x9E3779B97F4A7C15 ^ uint64(term+1)*0xD1B54A32D192ED03
+}
+
 // TermRNG returns terminal term's private random stream for a run
 // seeded with seed. Injectors receive exactly this stream for their
 // Generate(term, ...) calls; the reference simulator builds the same
 // streams so both engines see identical traffic.
 func TermRNG(seed int64, term int) *rand.Rand {
-	// Decorrelate the per-terminal states with a second odd constant so
-	// adjacent terminals do not sample adjacent points of one Weyl orbit.
-	return rand.New(&splitmix64{x: uint64(seed)*0x9E3779B97F4A7C15 ^ uint64(term+1)*0xD1B54A32D192ED03})
+	return rand.New(&splitmix64{x: termRNGState(seed, term)})
 }
 
 // PacketSalt hashes (source terminal, per-terminal packet sequence)

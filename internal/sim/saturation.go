@@ -91,12 +91,17 @@ func FindSaturation(build Builder, injf InjectorFactory, opt SaturationSearchOpt
 	}
 
 	res := &SaturationResult{}
+	// The search is strictly sequential, so one network serves every
+	// evaluation: built on the first, Reset between the rest (seeded by
+	// evaluation index, exactly as the fresh-build-per-eval version
+	// was). Reset clears the abort detector and shard-stats hook, so
+	// both are re-armed per evaluation.
+	var wn workerNet
 	eval := func(load float64) (Stats, error) {
-		n, err := build()
+		n, err := wn.get(build, res.Evaluations)
 		if err != nil {
 			return Stats{}, err
 		}
-		n.Reseed(PointSeed(n.BaseSeed(), res.Evaluations))
 		if opt.Abort != nil {
 			n.SetAbort(opt.Abort)
 		}

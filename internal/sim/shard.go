@@ -129,6 +129,211 @@ type ringRef struct {
 	shard, k, pos int32
 }
 
+// shardLocal holds one shard copy's private backing arrays and loop
+// bounds across runs. The per-run re-sync (*sh = *n) overwrites every
+// field of the shard's Network, so the reusable slice headers live here
+// and are restored (and zeroed where a fresh allocation would be zero)
+// after it.
+type shardLocal struct {
+	rLo, rHi, tLo, tHi int
+	latVals            []int32
+	classOff           []int32
+	classCnt           []int32
+	classHot           [][]chanHot
+	classSlotBase      []int32
+	ringSlab           []uint64
+	npRot              []int32
+	saWinner           []int32
+	saWinnerIn         []int32
+	saStamp            []int64
+	feedLP             []int64
+	outLP              []int64
+	termLP             []int64
+	bnd                []bndRef
+	freePkts           []int32
+}
+
+// shardPlan caches everything RunSharded derives from the network's
+// immutable structure and a shard count: the partition, the per-shard
+// ring layouts, the boundary refs with their outbox matrix, the packet
+// pool, and the S shard Network copies with their backing arrays. The
+// plan contains no per-run state, so it survives Network.Reset and
+// every later sharded run at the same shard count reuses it — the
+// several-MB/op per-shard setup cost is paid once per network.
+type shardPlan struct {
+	S         int
+	cuts      []int
+	ts        []int
+	offS      [][]int32
+	cntS      [][]int32
+	flitRef   []ringRef
+	credRef   []ringRef
+	nBoundary int
+	// epochBnd is the conservative-lookahead epoch: the minimum boundary-
+	// channel latency, or 0 when no channel crosses a cut (the run then
+	// syncs only at stop events).
+	epochBnd int64
+	// flitCap is the network-wide flit capacity bound (ring slots plus
+	// credit-bounded VC buffers) the packet table is sized from.
+	flitCap int
+	boxes   [][]outbox
+	pool    *pktPool
+	nets    []*Network
+	locals  []shardLocal
+}
+
+// buildShardPlan computes the sharded execution layout for S shards:
+// the router/terminal partition, ring placement, boundary redirects and
+// per-shard producer offsets. Everything here is a pure function of the
+// built network's structure — nothing depends on the seed, the load, or
+// any prior run.
+func (n *Network) buildShardPlan(S int) *shardPlan {
+	p := &shardPlan{S: S, pool: &pktPool{}}
+	p.cuts = n.partitionRouters(S)
+	p.ts = n.termStarts()
+	shardOf := make([]int32, n.R)
+	for s := 0; s < S; s++ {
+		for r := p.cuts[s]; r < p.cuts[s+1]; r++ {
+			shardOf[r] = int32(s)
+		}
+	}
+
+	// Ring placement: every channel gets a flit ring in its destination
+	// shard; boundary channels additionally get a credit ring in their
+	// source shard (interior channels keep the serial flit/credit word
+	// sharing). Channels are visited in index order, so stripe positions
+	// — and with them the whole layout — are deterministic.
+	nc := len(n.channels)
+	latValsS := make([][]int32, S)
+	hotS := make([][][]chanHot, S)
+	addRing := func(s int32, lat int32, h chanHot) ringRef {
+		k := int32(-1)
+		for i, lv := range latValsS[s] {
+			if lv == lat {
+				k = int32(i)
+				break
+			}
+		}
+		if k < 0 {
+			k = int32(len(latValsS[s]))
+			latValsS[s] = append(latValsS[s], lat)
+			hotS[s] = append(hotS[s], nil)
+		}
+		hotS[s][k] = append(hotS[s][k], h)
+		return ringRef{shard: s, k: k, pos: int32(len(hotS[s][k]) - 1)}
+	}
+	p.flitRef = make([]ringRef, nc)
+	p.credRef = make([]ringRef, nc)
+	for ci := range n.channels {
+		c := &n.channels[ci]
+		ds := shardOf[c.dstRouter]
+		ss := ds
+		if c.srcRouter >= 0 {
+			ss = shardOf[c.srcRouter]
+		}
+		srcR := c.srcRouter
+		if c.srcTerm >= 0 {
+			srcR = -(c.srcTerm + 1)
+		}
+		h := chanHot{dstR: c.dstRouter, dstP: c.dstPort, srcR: srcR, srcP: c.srcPort}
+		p.flitRef[ci] = addRing(ds, c.lat, h)
+		if ss == ds {
+			p.credRef[ci] = ringRef{shard: -1}
+			continue
+		}
+		p.credRef[ci] = addRing(ss, c.lat, h)
+		p.nBoundary++
+		if p.epochBnd == 0 || int64(c.lat) < p.epochBnd {
+			p.epochBnd = int64(c.lat)
+		}
+	}
+	// Per-shard slot-major layout, mirroring Build's slab pass.
+	p.offS = make([][]int32, S)
+	p.cntS = make([][]int32, S)
+	slabLen := make([]int32, S)
+	for s := 0; s < S; s++ {
+		p.offS[s] = make([]int32, len(latValsS[s]))
+		p.cntS[s] = make([]int32, len(latValsS[s]))
+		total := int32(0)
+		for k, lv := range latValsS[s] {
+			p.offS[s][k] = total
+			p.cntS[s][k] = int32(len(hotS[s][k]))
+			total += lv * p.cntS[s][k]
+		}
+		slabLen[s] = total
+	}
+	p.flitCap = 0
+	for i := range n.channels {
+		p.flitCap += int(n.channels[i].lat)
+	}
+	p.flitCap += n.R * n.maxP * int(n.bufPP)
+
+	p.boxes = make([][]outbox, S)
+	for s := range p.boxes {
+		p.boxes[s] = make([]outbox, S)
+	}
+	p.nets = make([]*Network, S)
+	p.locals = make([]shardLocal, S)
+	for s := 0; s < S; s++ {
+		loc := &p.locals[s]
+		loc.rLo, loc.rHi = p.cuts[s], p.cuts[s+1]
+		loc.tLo, loc.tHi = p.ts[p.cuts[s]], p.ts[p.cuts[s+1]]
+		loc.latVals = latValsS[s]
+		loc.classCnt = p.cntS[s]
+		loc.classOff = p.offS[s]
+		loc.classHot = hotS[s]
+		loc.classSlotBase = make([]int32, len(latValsS[s]))
+		loc.ringSlab = make([]uint64, slabLen[s])
+		loc.npRot = make([]int32, len(n.npVals))
+		loc.saWinner = make([]int32, n.maxP)
+		loc.saWinnerIn = make([]int32, n.maxP)
+		loc.saStamp = make([]int64, n.maxP)
+		loc.freePkts = make([]int32, 0, poolSpillAt+poolBatch)
+		// Producer offsets against the shard-local layout, with boundary
+		// producers redirected to outboxes (lp <= -2, see bndPush).
+		lpLocal := func(ref ringRef) int64 {
+			return int64(ref.pos)<<31 | int64(ref.k)
+		}
+		addBnd := func(ref ringRef, lat int32) int64 {
+			loc.bnd = append(loc.bnd, bndRef{
+				off: p.offS[ref.shard][ref.k], cnt: p.cntS[ref.shard][ref.k],
+				pos: ref.pos, lat: lat, box: &p.boxes[s][ref.shard],
+			})
+			return -2 - int64(len(loc.bnd)-1)
+		}
+		loc.feedLP = make([]int64, len(n.feedLP))
+		loc.outLP = make([]int64, len(n.outLP))
+		for i := range loc.feedLP {
+			loc.feedLP[i], loc.outLP[i] = -1, -1
+		}
+		for r := loc.rLo; r < loc.rHi; r++ {
+			for pt := 0; pt < n.maxP; pt++ {
+				i := r*n.maxP + pt
+				if ci := n.feedCh[i]; ci >= 0 {
+					if cr := p.credRef[ci]; cr.shard < 0 {
+						loc.feedLP[i] = lpLocal(p.flitRef[ci]) // interior: credit shares the flit ring word
+					} else {
+						loc.feedLP[i] = addBnd(cr, n.channels[ci].lat)
+					}
+				}
+				if ci := n.outCh[i]; ci >= 0 {
+					if fr := p.flitRef[ci]; int(fr.shard) == s {
+						loc.outLP[i] = lpLocal(fr)
+					} else {
+						loc.outLP[i] = addBnd(p.flitRef[ci], n.channels[ci].lat)
+					}
+				}
+			}
+		}
+		loc.termLP = make([]int64, len(n.termLP))
+		for t := loc.tLo; t < loc.tHi; t++ {
+			loc.termLP[t] = lpLocal(p.flitRef[n.termChIn[t]]) // terminal channels are always shard-interior
+		}
+		p.nets[s] = new(Network)
+	}
+	return p
+}
+
 // RunSharded is Run partitioned across shards goroutines, bit-identical
 // to the serial Run for any shard count: same Stats, same latency
 // histogram (including the float sum), same delivery log — and, when
@@ -169,95 +374,35 @@ func (n *Network) RunSharded(inj Injector, offered float64, shards int) (Stats, 
 		drain = 10 * int64(cfg.MeasureCycles)
 	}
 
-	cuts := n.partitionRouters(S)
-	ts := n.termStarts()
-	shardOf := make([]int32, n.R)
-	for s := 0; s < S; s++ {
-		for r := cuts[s]; r < cuts[s+1]; r++ {
-			shardOf[r] = int32(s)
-		}
+	// Immutable sharding layout: computed once per (network, shard
+	// count) and reused across runs — Network.Reset leaves it in place,
+	// so warm sweep workers pay the layout cost on their first point
+	// only.
+	if n.plan == nil || n.plan.S != S {
+		n.plan = n.buildShardPlan(S)
 	}
-
-	// Ring placement: every channel gets a flit ring in its destination
-	// shard; boundary channels additionally get a credit ring in their
-	// source shard (interior channels keep the serial flit/credit word
-	// sharing). Channels are visited in index order, so stripe positions
-	// — and with them the whole layout — are deterministic.
+	p := n.plan
+	cuts, ts := p.cuts, p.ts
+	flitRef, credRef := p.flitRef, p.credRef
+	offS, cntS := p.offS, p.cntS
+	boxes, nets := p.boxes, p.nets
+	nBoundary := p.nBoundary
 	nc := len(n.channels)
-	latValsS := make([][]int32, S)
-	hotS := make([][][]chanHot, S)
-	addRing := func(s int32, lat int32, h chanHot) ringRef {
-		k := int32(-1)
-		for i, lv := range latValsS[s] {
-			if lv == lat {
-				k = int32(i)
-				break
-			}
-		}
-		if k < 0 {
-			k = int32(len(latValsS[s]))
-			latValsS[s] = append(latValsS[s], lat)
-			hotS[s] = append(hotS[s], nil)
-		}
-		hotS[s][k] = append(hotS[s][k], h)
-		return ringRef{shard: s, k: k, pos: int32(len(hotS[s][k]) - 1)}
-	}
-	flitRef := make([]ringRef, nc)
-	credRef := make([]ringRef, nc)
-	nBoundary := 0
-	epoch := n.measEnd // no boundary channels: sync only at stop events
-	for ci := range n.channels {
-		c := &n.channels[ci]
-		ds := shardOf[c.dstRouter]
-		ss := ds
-		if c.srcRouter >= 0 {
-			ss = shardOf[c.srcRouter]
-		}
-		srcR := c.srcRouter
-		if c.srcTerm >= 0 {
-			srcR = -(c.srcTerm + 1)
-		}
-		h := chanHot{dstR: c.dstRouter, dstP: c.dstPort, srcR: srcR, srcP: c.srcPort}
-		flitRef[ci] = addRing(ds, c.lat, h)
-		if ss == ds {
-			credRef[ci] = ringRef{shard: -1}
-			continue
-		}
-		credRef[ci] = addRing(ss, c.lat, h)
-		nBoundary++
-		if int64(c.lat) < epoch {
-			epoch = int64(c.lat)
-		}
+	epoch := p.epochBnd
+	if epoch == 0 {
+		epoch = n.measEnd // no boundary channels: sync only at stop events
 	}
 	if epoch < 1 {
 		epoch = 1
 	}
-	// Per-shard slot-major layout, mirroring Build's slab pass.
-	offS := make([][]int32, S)
-	cntS := make([][]int32, S)
-	slabLen := make([]int32, S)
-	for s := 0; s < S; s++ {
-		offS[s] = make([]int32, len(latValsS[s]))
-		cntS[s] = make([]int32, len(latValsS[s]))
-		total := int32(0)
-		for k, lv := range latValsS[s] {
-			offS[s][k] = total
-			cntS[s][k] = int32(len(hotS[s][k]))
-			total += lv * cntS[s][k]
-		}
-		slabLen[s] = total
-	}
 
 	// Shared preallocated packet table sized to the live-packet bound:
 	// total flit capacity (ring slots plus credit-bounded VC buffers)
-	// plus every shard's maximum local freelist holding.
-	flitCap := 0
-	for i := range n.channels {
-		flitCap += int(n.channels[i].lat)
-	}
-	flitCap += n.R * n.maxP * int(n.bufPP)
+	// plus every shard's maximum local freelist holding. A reused
+	// network retains the table's capacity, so the growth loop and the
+	// pool fill below allocate nothing after the first run.
 	origLen := len(n.pkts)
-	capTotal := origLen + flitCap + S*(poolSpillAt+poolBatch) + 64
+	capTotal := origLen + p.flitCap + S*(poolSpillAt+poolBatch) + 64
 	for len(n.pkts) < capTotal {
 		n.pkts = append(n.pkts, packetInfo{})
 		n.pktRoute = append(n.pktRoute, 0)
@@ -280,35 +425,40 @@ func (n *Network) RunSharded(inj Injector, offered float64, shards int) (Stats, 
 			n.chk.ejected = append(n.chk.ejected, 0)
 		}
 	}
-	pool := &pktPool{free: n.freePkts}
+	pool := p.pool
+	pool.free = append(pool.free[:0], n.freePkts...)
 	for id := capTotal - 1; id >= origLen; id-- {
 		pool.free = append(pool.free, int32(id))
 	}
 	n.freePkts = nil
 
-	// Per-shard Network copies: shared backing for all router/terminal-
-	// indexed state (disjoint writes by ownership), fresh copies of the
-	// ring layout, scratch, counters and observers.
-	boxes := make([][]outbox, S)
-	for s := range boxes {
-		boxes[s] = make([]outbox, S)
-	}
-	nets := make([]*Network, S)
+	// Per-shard Network copies, re-synced from the master each run:
+	// shared backing for all router/terminal-indexed state (disjoint
+	// writes by ownership), the plan's cached ring layout and scratch —
+	// zeroed in place where a fresh allocation would be zero — and fresh
+	// per-run observers and counters.
 	for s := 0; s < S; s++ {
-		sh := new(Network)
+		sh := nets[s]
+		loc := &p.locals[s]
 		*sh = *n
-		sh.rLo, sh.rHi = cuts[s], cuts[s+1]
-		sh.tLo, sh.tHi = ts[cuts[s]], ts[cuts[s+1]]
-		sh.latVals = latValsS[s]
-		sh.classCnt = cntS[s]
-		sh.classOff = offS[s]
-		sh.classHot = hotS[s]
-		sh.classSlotBase = make([]int32, len(latValsS[s]))
-		sh.ringSlab = make([]uint64, slabLen[s])
-		sh.npRot = make([]int32, len(n.npVals))
-		sh.saWinner = make([]int32, n.maxP)
-		sh.saWinnerIn = make([]int32, n.maxP)
-		sh.saStamp = make([]int64, n.maxP)
+		sh.rLo, sh.rHi = loc.rLo, loc.rHi
+		sh.tLo, sh.tHi = loc.tLo, loc.tHi
+		sh.latVals = loc.latVals
+		sh.classCnt = loc.classCnt
+		sh.classOff = loc.classOff
+		sh.classHot = loc.classHot
+		sh.classSlotBase = loc.classSlotBase
+		clear(sh.classSlotBase)
+		sh.ringSlab = loc.ringSlab
+		clear(sh.ringSlab)
+		sh.npRot = loc.npRot
+		clear(sh.npRot)
+		sh.saWinner = loc.saWinner
+		clear(sh.saWinner)
+		sh.saWinnerIn = loc.saWinnerIn
+		clear(sh.saWinnerIn)
+		sh.saStamp = loc.saStamp
+		clear(sh.saStamp)
 		sh.saClock = 0
 		sh.now = 0
 		sh.latHist = obs.Histogram{}
@@ -316,10 +466,11 @@ func (n *Network) RunSharded(inj Injector, offered float64, shards int) (Stats, 
 		sh.completed, sh.measuredBorn = 0, 0
 		sh.ejectedFlits, sh.lastDone = 0, 0
 		sh.deliveries = nil
-		sh.freePkts = make([]int32, 0, poolSpillAt+poolBatch)
+		sh.freePkts = loc.freePkts[:0]
 		sh.pool = pool
 		sh.logger = nil
 		sh.ab = nil
+		sh.plan = nil
 		if n.probe != nil {
 			sh.probe = n.NewProbe()
 		}
@@ -351,49 +502,10 @@ func (n *Network) RunSharded(inj Injector, offered float64, shards int) (Stats, 
 			// where global state is settled.
 			sh.chk = &checker{opt: n.chk.opt, eventsOnly: true, live: n.chk.live, ejected: n.chk.ejected}
 		}
-		// Producer offsets against the shard-local layout, with boundary
-		// producers redirected to outboxes (lp <= -2, see bndPush).
-		lpLocal := func(ref ringRef) int64 {
-			return int64(ref.pos)<<31 | int64(ref.k)
-		}
-		var bnd []bndRef
-		addBnd := func(ref ringRef, lat int32) int64 {
-			bnd = append(bnd, bndRef{
-				off: offS[ref.shard][ref.k], cnt: cntS[ref.shard][ref.k],
-				pos: ref.pos, lat: lat, box: &boxes[s][ref.shard],
-			})
-			return -2 - int64(len(bnd)-1)
-		}
-		sh.feedLP = make([]int64, len(n.feedLP))
-		sh.outLP = make([]int64, len(n.outLP))
-		for i := range sh.feedLP {
-			sh.feedLP[i], sh.outLP[i] = -1, -1
-		}
-		for r := sh.rLo; r < sh.rHi; r++ {
-			for p := 0; p < n.maxP; p++ {
-				i := r*n.maxP + p
-				if ci := n.feedCh[i]; ci >= 0 {
-					if cr := credRef[ci]; cr.shard < 0 {
-						sh.feedLP[i] = lpLocal(flitRef[ci]) // interior: credit shares the flit ring word
-					} else {
-						sh.feedLP[i] = addBnd(cr, n.channels[ci].lat)
-					}
-				}
-				if ci := n.outCh[i]; ci >= 0 {
-					if fr := flitRef[ci]; int(fr.shard) == s {
-						sh.outLP[i] = lpLocal(fr)
-					} else {
-						sh.outLP[i] = addBnd(flitRef[ci], n.channels[ci].lat)
-					}
-				}
-			}
-		}
-		sh.termLP = make([]int64, len(n.termLP))
-		for t := sh.tLo; t < sh.tHi; t++ {
-			sh.termLP[t] = lpLocal(flitRef[n.termChIn[t]]) // terminal channels are always shard-interior
-		}
-		sh.bnd = bnd
-		nets[s] = sh
+		sh.feedLP = loc.feedLP
+		sh.outLP = loc.outLP
+		sh.termLP = loc.termLP
+		sh.bnd = loc.bnd
 	}
 
 	if n.logger != nil {
@@ -742,6 +854,13 @@ func (n *Network) RunSharded(inj Injector, offered float64, shards int) (Stats, 
 				}
 			}
 		}
+	}
+
+	// Keep any freelist growth for the next run on this plan (the local
+	// freelists are bounded by poolSpillAt + one refill batch, but a
+	// grown backing array is worth retaining either way).
+	for s := 0; s < S; s++ {
+		p.locals[s].freePkts = nets[s].freePkts
 	}
 
 	// Reconstruct the serial stop cycle and fold the shard results back

@@ -13,9 +13,39 @@ import (
 	"waferswitch/internal/traffic"
 )
 
-// Builder constructs a fresh network for one run (a Network is
-// single-use: its state is consumed by Run).
+// Builder constructs a network for one run. A Run consumes the
+// network's state; run it again only after Network.Reset (which the
+// sweep engines do internally — each worker builds once and Resets
+// between points), or wrap a build with ReusableBuilder for serial
+// evaluation loops.
 type Builder func() (*Network, error)
+
+// workerNet is one sweep worker's reusable network: built on the
+// worker's first point, Reset to pristine for every later point. base
+// is the builder's configured seed, captured at build time — Reseed and
+// Reset overwrite cfg.Seed, so per-point seeds must always derive from
+// the original via PointSeed.
+type workerNet struct {
+	n    *Network
+	base int64
+}
+
+// get returns the worker's network ready to run point i: seeded with
+// PointSeed(base, i) and otherwise indistinguishable from a fresh
+// build.
+func (w *workerNet) get(build Builder, i int) (*Network, error) {
+	if w.n == nil {
+		n, err := build()
+		if err != nil {
+			return nil, err
+		}
+		w.n, w.base = n, n.BaseSeed()
+		n.Reseed(PointSeed(w.base, i))
+		return n, nil
+	}
+	w.n.Reset(PointSeed(w.base, i))
+	return w.n, nil
+}
 
 // InjectorFactory builds an injector for a given offered load in
 // flits/terminal/cycle.
@@ -154,13 +184,17 @@ func (r *SweepResult) Stats() []Stats {
 }
 
 // Sweep runs the network at each offered load, fanning points across a
-// bounded worker pool. Each point builds its own Network (reseeded with
-// PointSeed) and its own collector, so workers share nothing mutable;
+// bounded worker pool. Each worker builds one Network on its first
+// point and Resets it between points (reseeding with PointSeed), and
+// each point gets its own collector, so workers share nothing mutable;
 // build and injf must therefore be safe for concurrent use, which the
-// stock builders and injector factories are. Parallel workers carry
-// runtime/pprof labels (sweep_worker, sweep_point, plus whatever
-// opt.Ctx contributes) so CPU profiles attribute samples to individual
-// points; the one-worker path runs inline under the caller's labels.
+// stock builders and injector factories are. Results are bit-identical
+// to building fresh per point: Reset provably rewinds to the built
+// state, and every point's traffic depends only on its PointSeed.
+// Parallel workers carry runtime/pprof labels (sweep_worker,
+// sweep_point, plus whatever opt.Ctx contributes) so CPU profiles
+// attribute samples to individual points; the one-worker path runs
+// inline under the caller's labels.
 func Sweep(build Builder, injf InjectorFactory, loads []float64, opt SweepOptions) (*SweepResult, error) {
 	workers := opt.Workers
 	if workers <= 0 {
@@ -170,6 +204,14 @@ func Sweep(build Builder, injf InjectorFactory, loads []float64, opt SweepOption
 		workers = len(loads)
 	}
 	if workers < 1 {
+		workers = 1
+	}
+	if workers > 1 && runtime.GOMAXPROCS(0) == 1 {
+		// One schedulable core: the fan-out buys no parallelism, and
+		// results are bit-identical for every worker count (each point's
+		// seed depends only on its index), so the goroutine pool would be
+		// pure scheduling overhead plus one warm network per worker. Run
+		// inline instead.
 		workers = 1
 	}
 
@@ -184,12 +226,11 @@ func Sweep(build Builder, injf InjectorFactory, loads []float64, opt SweepOption
 		opt.Progress.AddTotal(len(loads))
 	}
 
-	runPoint := func(i int) error {
-		n, err := build()
+	runPoint := func(w *workerNet, i int) error {
+		n, err := w.get(build, i)
 		if err != nil {
 			return err
 		}
-		n.Reseed(PointSeed(n.BaseSeed(), i))
 		if opt.Abort != nil {
 			n.SetAbort(opt.Abort)
 		}
@@ -255,8 +296,9 @@ func Sweep(build Builder, injf InjectorFactory, loads []float64, opt SweepOption
 		// label scope of its own, so points inherit the caller's pprof
 		// labels (e.g. the expt/worker/point labels of a Pool cell this
 		// sweep nests inside) and profiles show no scheduling detour.
+		var wn workerNet
 		for i := range loads {
-			errs[i] = runPoint(i)
+			errs[i] = runPoint(&wn, i)
 		}
 	} else {
 		parent := opt.Ctx
@@ -272,6 +314,7 @@ func Sweep(build Builder, injf InjectorFactory, loads []float64, opt SweepOption
 				pprof.Do(parent,
 					pprof.Labels("sweep_worker", strconv.Itoa(worker)),
 					func(ctx context.Context) {
+						var wn workerNet
 						for {
 							i := int(next.Add(1)) - 1
 							if i >= len(loads) {
@@ -279,7 +322,7 @@ func Sweep(build Builder, injf InjectorFactory, loads []float64, opt SweepOption
 							}
 							pprof.Do(ctx,
 								pprof.Labels("sweep_point", strconv.Itoa(i)),
-								func(context.Context) { errs[i] = runPoint(i) })
+								func(context.Context) { errs[i] = runPoint(&wn, i) })
 						}
 					})
 			}(w)

@@ -10,6 +10,8 @@
 package topo
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 
 	"waferswitch/internal/ssc"
@@ -136,6 +138,40 @@ func (t *Topology) Validate() error {
 		}
 	}
 	return nil
+}
+
+// CanonicalHash content-hashes the structural identity of the topology:
+// everything the simulator's port assignment and route computation
+// depend on — node count, per-node external ports, the link list in
+// declared order with lane multiplicities, and the mesh grid shape that
+// selects dimension-order routing. Two Topology values with equal
+// hashes build identical router graphs and identical route tables, so
+// the hash keys the simulator's shared route cache and is the
+// topology-identity component of any future result cache. Names, line
+// rates and chiplet hardware are deliberately excluded: they never
+// influence adjacency or routing.
+func (t *Topology) CanonicalHash() [32]byte {
+	h := sha256.New()
+	var buf [8]byte
+	u := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+		h.Write(buf[:])
+	}
+	u(len(t.Nodes))
+	for _, n := range t.Nodes {
+		u(n.ExternalPorts)
+	}
+	u(len(t.Links))
+	for _, l := range t.Links {
+		u(l.A)
+		u(l.B)
+		u(l.Lanes)
+	}
+	u(t.MeshRows)
+	u(t.MeshCols)
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
 }
 
 // ChipletCount returns the number of chiplets in the topology.
